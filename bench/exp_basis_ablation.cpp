@@ -1,0 +1,80 @@
+// E15 / Section 1 key-benefit bullet: "ability to use different basis and
+// sensing matrix by exploiting prior available data of different
+// regions."  A broker that trains a PCA (Karhunen-Loeve) basis on its
+// zone's history should reconstruct tomorrow's field from fewer
+// measurements than generic DCT/Haar/Gaussian bases.
+//
+// Setup: an evolving plume field; train on T historical snapshots, test
+// on later snapshots; sweep M.
+#include <cstdio>
+#include <vector>
+
+#include "cs/chs.h"
+#include "field/traces.h"
+#include "linalg/basis.h"
+#include "linalg/vector_ops.h"
+
+using namespace sensedroid;
+
+namespace {
+
+constexpr std::size_t kW = 12, kH = 12;     // N = 144
+constexpr std::size_t kHistory = 60;
+constexpr std::size_t kTestSteps = 12;
+
+double eval_basis(const linalg::Matrix& basis, const field::TraceSet& test,
+                  std::size_t m, std::uint64_t seed) {
+  double err = 0.0;
+  for (std::size_t s = 0; s < test.count(); ++s) {
+    linalg::Rng rng(seed + s);
+    const auto x = test.at(s).vectorize();
+    auto plan = cs::MeasurementPlan::random(x.size(), m, rng);
+    auto noise = cs::SensorNoise::homogeneous(m, 0.02);
+    const auto meas = cs::measure(x, std::move(plan), std::move(noise), rng);
+    cs::ChsOptions opts;
+    opts.interpolation = cs::Interpolation::kLinear;
+    const auto rec = cs::chs_reconstruct(basis, meas, opts);
+    err += linalg::nrmse(rec.reconstruction, x);
+  }
+  return err / static_cast<double>(test.count());
+}
+
+}  // namespace
+
+int main() {
+  // One stream of evolving plumes: first kHistory snapshots train, the
+  // next kTestSteps are the "tomorrow" the broker must reconstruct.
+  linalg::Rng rng(31);
+  const auto all = field::evolving_plume_traces(kW, kH, 3,
+                                                kHistory + kTestSteps, rng,
+                                                /*drift=*/0.3,
+                                                /*amp_jitter=*/0.05);
+  field::TraceSet history, test;
+  for (std::size_t t = 0; t < kHistory; ++t) history.add(all.at(t));
+  for (std::size_t t = kHistory; t < all.count(); ++t) test.add(all.at(t));
+
+  const std::size_t n = kW * kH;
+  const auto pca = linalg::pca_basis(history.to_matrix());
+  const auto dct = linalg::dct_basis(n);
+  const auto dct2 = linalg::dct2_basis(kW, kH);
+  const auto gauss = linalg::gaussian_basis(n, 99);
+
+  std::printf("# E15 — basis ablation: prior-data PCA vs generic bases\n");
+  std::printf("# %zux%zu plume field, %zu training snapshots, %zu test "
+              "steps, sigma 0.02\n\n", kW, kH, kHistory, kTestSteps);
+  std::printf("%4s  %10s  %10s  %10s  %10s\n", "M", "pca-nrmse",
+              "dct2-nrmse", "dct1-nrmse", "gauss-nrmse");
+  for (std::size_t m : {6u, 10u, 16u, 24u, 36u, 48u, 72u}) {
+    std::printf("%4zu  %10.4f  %10.4f  %10.4f  %10.4f\n", m,
+                eval_basis(pca, test, m, 900),
+                eval_basis(dct2, test, m, 900),
+                eval_basis(dct, test, m, 900),
+                eval_basis(gauss, test, m, 900));
+  }
+  std::printf(
+      "\n# expected: the PCA basis trained on the zone's own history "
+      "reaches a given error with several-fold fewer measurements than "
+      "either DCT; the separable 2-D DCT beats the 1-D DCT of the stacked "
+      "vector; an unstructured Gaussian basis trails everything.\n");
+  return 0;
+}

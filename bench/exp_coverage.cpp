@@ -1,0 +1,102 @@
+// E19 / §2 related-work claim (Madhani et al.): the rate of information
+// reporting by *uncontrolled* mobile sensors needed to cover a
+// geographical area.  A crowd of random-waypoint phones reports its
+// position every `interval`; we measure how long until every cell of the
+// area has at least one report ("cover time") and the steady-state
+// fraction covered per window — the knobs a broker has are crowd size
+// and reporting rate.
+#include <cstdio>
+#include <vector>
+
+#include "linalg/random.h"
+#include "sim/mobility.h"
+
+using namespace sensedroid;
+
+namespace {
+
+constexpr double kAreaM = 400.0;
+constexpr std::size_t kCells = 10;  // 10x10 cells of 40 m
+
+struct CoverageResult {
+  double cover_time_s = 0.0;     ///< until every cell seen at least once
+  double window_coverage = 0.0;  ///< mean fraction covered per 10-min window
+};
+
+CoverageResult run(std::size_t phones, double interval_s,
+                   std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  sim::RandomWaypoint::Params params;
+  params.region = {0.0, 0.0, kAreaM, kAreaM};
+  params.pause_s = 10.0;
+  sim::Crowd crowd(phones, params, rng);
+
+  std::vector<bool> ever(kCells * kCells, false);
+  std::size_t ever_count = 0;
+  CoverageResult out;
+  bool cover_done = false;
+
+  constexpr double kHorizonS = 4.0 * 3600.0;
+  constexpr double kWindowS = 600.0;
+  std::vector<bool> window(kCells * kCells, false);
+  double window_sum = 0.0;
+  std::size_t windows = 0;
+
+  for (double t = 0.0; t < kHorizonS; t += interval_s) {
+    crowd.step(interval_s, rng);
+    for (const auto& p : crowd.positions()) {
+      const auto cx = std::min(kCells - 1,
+                               static_cast<std::size_t>(p.x / 40.0));
+      const auto cy = std::min(kCells - 1,
+                               static_cast<std::size_t>(p.y / 40.0));
+      const std::size_t cell = cy * kCells + cx;
+      window[cell] = true;
+      if (!ever[cell]) {
+        ever[cell] = true;
+        ++ever_count;
+        if (!cover_done && ever_count == kCells * kCells) {
+          out.cover_time_s = t;
+          cover_done = true;
+        }
+      }
+    }
+    if (std::fmod(t, kWindowS) < interval_s && t > 0.0) {
+      std::size_t covered = 0;
+      for (std::size_t c = 0; c < window.size(); ++c) {
+        if (window[c]) ++covered;
+        window[c] = false;
+      }
+      window_sum += static_cast<double>(covered) /
+                    static_cast<double>(kCells * kCells);
+      ++windows;
+    }
+  }
+  if (!cover_done) out.cover_time_s = kHorizonS;  // censored
+  out.window_coverage = windows > 0 ? window_sum / windows : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E19 — area coverage by uncontrolled mobile sensors "
+              "(Madhani et al., Section 2)\n");
+  std::printf("# %.0fx%.0f m area, %zux%zu cells, random waypoint "
+              "pedestrians, 4 h horizon\n\n", kAreaM, kAreaM, kCells,
+              kCells);
+  std::printf("%7s  %9s  %13s  %16s\n", "phones", "report-s",
+              "cover-min", "10min-coverage");
+  for (std::size_t phones : {5u, 15u, 40u, 100u}) {
+    for (double interval : {60.0, 15.0}) {
+      const auto res = run(phones, interval, 99);
+      std::printf("%7zu  %9.0f  %13.1f  %15.0f%%\n", phones, interval,
+                  res.cover_time_s / 60.0, 100.0 * res.window_coverage);
+    }
+  }
+  std::printf(
+      "\n# expected: cover time falls roughly as 1/phones; faster "
+      "reporting helps much less than more phones (a walker revisits its "
+      "own neighborhood) — the argument for recruiting wide rather than "
+      "sampling hard.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E18 — does compressive sensing actually beat classical scattered-data
+// interpolation from the same M samples?  The paper's machinery is only
+// justified where the answer is yes.  Compared on a smooth plume (easy
+// for interpolation) and a sharp fire front (hard), across budgets.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/interpolation.h"
+#include "cs/chs.h"
+#include "field/generators.h"
+#include "linalg/basis.h"
+#include "linalg/vector_ops.h"
+
+using namespace sensedroid;
+
+namespace {
+
+constexpr std::size_t kW = 16, kH = 16;
+constexpr int kTrials = 6;
+constexpr double kSigma = 0.02;
+
+void sweep(const char* label, const field::SpatialField& truth) {
+  const std::size_t n = truth.size();
+  const auto basis = linalg::dct2_basis(kW, kH);
+  std::printf("\n## field: %s\n", label);
+  std::printf("%4s  %10s  %10s  %10s\n", "M", "chs-nrmse", "idw-nrmse",
+              "rbf-nrmse");
+  for (std::size_t m : {16u, 32u, 48u, 80u, 128u}) {
+    double chs_err = 0.0, idw_err = 0.0, rbf_err = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      linalg::Rng rng(8000 + t * 17 + m);
+      auto plan = cs::MeasurementPlan::random(n, m, rng);
+      auto noise = cs::SensorNoise::homogeneous(m, kSigma);
+      const auto meas = cs::measure(truth.flat(), plan, noise, rng);
+
+      cs::ChsOptions opts;
+      opts.interpolation = cs::Interpolation::kLinear;
+      opts.grid_height = kH;
+      chs_err += linalg::nrmse(
+          cs::chs_reconstruct(basis, meas, opts).reconstruction,
+          truth.flat());
+
+      const auto idw = baselines::idw_reconstruct(
+          meas.values, meas.plan.indices(), kW, kH);
+      idw_err += field::field_nrmse(idw, truth);
+      const auto rbf = baselines::rbf_reconstruct(
+          meas.values, meas.plan.indices(), kW, kH);
+      rbf_err += field::field_nrmse(rbf, truth);
+    }
+    std::printf("%4zu  %10.4f  %10.4f  %10.4f\n", m, chs_err / kTrials,
+                idw_err / kTrials, rbf_err / kTrials);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E18 — CS reconstruction vs classical interpolation "
+              "(%dx%d field, sigma %.2f, %d trials)\n",
+              int(kW), int(kH), kSigma, kTrials);
+
+  linalg::Rng rng(3);
+  const auto plume = field::random_plume_field(kW, kH, 3, rng, 10.0);
+  sweep("smooth plume", plume);
+
+  std::vector<field::FireRegion> regions{{4.0, 11.0, 3.0, 3.5, 400.0}};
+  const auto fire = field::fire_front_field(kW, kH, regions, 20.0, 1.5);
+  sweep("sharp fire front", fire);
+
+  std::printf(
+      "\n# expected: CHS leads on the smooth field at every budget and "
+      "pulls ahead on the sharp front once M resolves it (M >= ~48); at "
+      "starvation budgets nothing resolves a discontinuity and nearest-"
+      "sample smoothing is as good as anything.\n");
+  return 0;
+}

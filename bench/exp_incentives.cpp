@@ -1,0 +1,120 @@
+// E13 / Section 5 "Incentive Mechanisms": comparative study of schemes
+// for buying readings from a crowd (the Duan et al.-style comparison the
+// paper cites): fixed price, plain repeated reverse auction, and
+// RADP-VPC.  Metrics: participation retention, platform cost per
+// reading, and readings actually procured over 20 rounds.  Plus the
+// Reddy-style recruitment comparison: greedy coverage vs arrival order.
+#include <cstdio>
+
+#include "incentives/auction.h"
+#include "incentives/participant.h"
+#include "incentives/recruitment.h"
+
+using namespace sensedroid;
+using namespace sensedroid::incentives;
+
+namespace {
+
+constexpr std::size_t kPop = 60;
+constexpr std::size_t kPerRound = 10;
+constexpr int kRounds = 20;
+const sim::Rect kRegion{0.0, 0.0, 400.0, 400.0};
+
+struct SchemeOutcome {
+  std::size_t readings = 0;
+  double spend = 0.0;
+  std::size_t still_active = 0;
+};
+
+SchemeOutcome run_fixed(double price, std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  auto pop = make_population(kPop, 0.5, 3.0, kRegion, rng);
+  SchemeOutcome out;
+  for (int r = 0; r < kRounds; ++r) {
+    const auto round = fixed_price_round(pop, price, kPerRound);
+    out.readings += round.winners.size();
+    out.spend += round.total_payment;
+  }
+  for (const auto& p : pop) {
+    if (p.active) ++out.still_active;
+  }
+  return out;
+}
+
+SchemeOutcome run_auction(double vpc, std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  auto pop = make_population(kPop, 0.5, 3.0, kRegion, rng);
+  RadpVpc::Params params;
+  params.k = kPerRound;
+  params.vpc = vpc;
+  params.patience = 3;
+  params.reserve_price = 5.0;  // platform's max acceptable price
+  RadpVpc mech(params);
+  SchemeOutcome out;
+  for (int r = 0; r < kRounds; ++r) {
+    const auto round = mech.run_round(pop);
+    out.readings += round.winners.size();
+    out.spend += round.total_payment;
+  }
+  for (const auto& p : pop) {
+    if (p.active) ++out.still_active;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E13 — incentive mechanism comparison (Section 5)\n");
+  std::printf("# %zu participants, cost ~ U[0.5, 3], buy %zu readings/round, "
+              "%d rounds\n\n", kPop, kPerRound, kRounds);
+  std::printf("%-26s  %9s  %9s  %11s  %12s\n", "scheme", "readings",
+              "spend", "cost/read", "active-after");
+
+  const auto fixed_low = run_fixed(1.0, 42);
+  std::printf("%-26s  %9zu  %9.1f  %11.2f  %9zu/%zu\n",
+              "fixed price (1.0)", fixed_low.readings, fixed_low.spend,
+              fixed_low.readings
+                  ? fixed_low.spend / static_cast<double>(fixed_low.readings)
+                  : 0.0,
+              fixed_low.still_active, kPop);
+
+  const auto fixed_high = run_fixed(3.0, 42);
+  std::printf("%-26s  %9zu  %9.1f  %11.2f  %9zu/%zu\n",
+              "fixed price (3.0)", fixed_high.readings, fixed_high.spend,
+              fixed_high.spend / static_cast<double>(fixed_high.readings),
+              fixed_high.still_active, kPop);
+
+  const auto plain = run_auction(0.0, 42);
+  std::printf("%-26s  %9zu  %9.1f  %11.2f  %9zu/%zu\n",
+              "reverse auction (no VPC)", plain.readings, plain.spend,
+              plain.spend / static_cast<double>(plain.readings),
+              plain.still_active, kPop);
+
+  const auto radp = run_auction(0.25, 42);
+  std::printf("%-26s  %9zu  %9.1f  %11.2f  %9zu/%zu\n",
+              "RADP-VPC (credit 0.25)", radp.readings, radp.spend,
+              radp.spend / static_cast<double>(radp.readings),
+              radp.still_active, kPop);
+
+  // Recruitment comparison.
+  linalg::Rng rng(77);
+  auto pop = make_population(kPop, 0.5, 3.0, kRegion, rng);
+  CoverageGrid grid{kRegion, 5, 5};
+  const double budget = 20.0;
+  const auto greedy = recruit_greedy(pop, grid, budget);
+  const auto arrival = recruit_arrival_order(pop, grid, budget);
+  std::printf("\n## recruitment at budget %.0f (%zu cells)\n", budget,
+              grid.cell_count());
+  std::printf("%-26s  %9s  %9s\n", "strategy", "covered", "cost");
+  std::printf("%-26s  %9zu  %9.1f\n", "greedy coverage (Reddy)",
+              greedy.cells_covered, greedy.total_cost);
+  std::printf("%-26s  %9zu  %9.1f\n", "arrival order",
+              arrival.cells_covered, arrival.total_cost);
+
+  std::printf(
+      "\n# expected: auctions beat posted prices on cost/reading; VPC "
+      "retains participants the plain auction starves out; greedy "
+      "recruitment covers more cells per unit budget.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E7 / Section 3: "we use compressive sampling instead of continuous
+// uniform measurement of the GPS and WiFi to derive the 'IsIndoor' flag
+// with similar accuracy while saving energy consumption."  Budget sweep
+// over a simulated indoor/outdoor day.
+#include <cstdio>
+
+#include "context/is_indoor.h"
+#include "sensing/probe.h"
+#include "sensing/signals.h"
+
+using namespace sensedroid;
+
+namespace {
+
+sensing::SimulatedSensor trace_sensor(const linalg::Vector& trace,
+                                      sensing::SensorKind kind,
+                                      std::uint64_t seed) {
+  return sensing::SimulatedSensor(
+      kind, sensing::QualityTier::kMidrange,
+      [trace](std::size_t i) { return trace[i % trace.size()]; }, seed);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kDay = 4096;  // samples (e.g. one per 20 s)
+  constexpr std::size_t kWindow = 256;
+
+  linalg::Rng rng(2024);
+  const auto schedule = sensing::indoor_schedule(kDay, 200.0, rng);
+  const auto gps = sensing::gps_quality_trace(schedule, rng);
+  const auto wifi = sensing::wifi_count_trace(schedule, rng);
+
+  std::printf("# E7 — IsIndoor: accuracy vs energy across sampling budgets\n");
+  std::printf("# day: %zu samples, window %zu; continuous baseline first\n",
+              kDay, kWindow);
+  std::printf("%-14s %7s  %9s  %10s  %8s\n", "mode", "budget", "accuracy",
+              "energy-J", "saving");
+
+  double baseline_energy = 0.0;
+  for (std::size_t budget : {kWindow, 96ul, 64ul, 48ul, 32ul, 16ul, 8ul}) {
+    const auto mode = budget == kWindow ? sensing::SamplingMode::kContinuous
+                                        : sensing::SamplingMode::kCompressive;
+    sensing::SensingProbe gps_probe(
+        trace_sensor(gps, sensing::SensorKind::kGps, 31),
+        {.mode = mode, .window = kWindow, .budget = budget, .seed = 31});
+    sensing::SensingProbe wifi_probe(
+        trace_sensor(wifi, sensing::SensorKind::kWifiScanner, 32),
+        {.mode = mode, .window = kWindow, .budget = budget, .seed = 32});
+    const auto ev =
+        context::evaluate_indoor_detector(schedule, gps_probe, wifi_probe);
+    if (budget == kWindow) baseline_energy = ev.sensing_energy_j;
+    std::printf("%-14s %7zu  %8.1f%%  %10.1f  %7.1f%%\n",
+                budget == kWindow ? "continuous" : "compressive", budget,
+                100.0 * ev.accuracy, ev.sensing_energy_j,
+                100.0 * (1.0 - ev.sensing_energy_j / baseline_energy));
+  }
+  std::printf(
+      "\n# paper: accuracy holds within a few points down to ~1/8 of the "
+      "samples while energy falls proportionally — GPS+WiFi dominate the "
+      "budget.\n");
+  return 0;
+}

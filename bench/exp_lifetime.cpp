@@ -1,0 +1,150 @@
+// E14 / Section 5 "Energy Efficiency": sensor-scheduling ablation.
+// (a) Fleet lifetime under different broker node-selection policies —
+//     rounds until the first phone dies and until 25% are dead.
+// (b) The adaptive sampler tracking a time-varying field: error and
+//     energy against fixed budgets.
+#include <cstdio>
+#include <vector>
+
+#include "cs/chs.h"
+#include "linalg/basis.h"
+#include "linalg/vector_ops.h"
+#include "scheduling/adaptive_sampling.h"
+#include "scheduling/node_selection.h"
+
+using namespace sensedroid;
+namespace sd = scheduling;
+
+namespace {
+
+// ---- (a) lifetime ----
+struct LifetimeResult {
+  std::size_t rounds_to_first_death = 0;
+  std::size_t rounds_to_quarter_dead = 0;
+};
+
+LifetimeResult run_lifetime(sd::SelectionPolicy policy, std::uint64_t seed) {
+  constexpr std::size_t kNodes = 40, kPerRound = 10;
+  constexpr double kCapacity = 60.0;  // small battery: readable round counts
+  constexpr double kCostPerReading = 1.0;
+  linalg::Rng rng(seed);
+
+  std::vector<sd::Candidate> cands(kNodes);
+  std::vector<double> battery(kNodes, kCapacity);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    cands[i].id = static_cast<std::uint32_t>(i);
+    // Uneven starting charge: phones arrive in all states.
+    battery[i] = rng.uniform(0.3, 1.0) * kCapacity;
+    cands[i].state_of_charge = battery[i] / kCapacity;
+  }
+
+  LifetimeResult out;
+  std::size_t dead = 0;
+  for (std::size_t round = 1; round <= 100000; ++round) {
+    auto sel = sd::select_nodes(cands, kPerRound, policy, rng);
+    if (sel.size() < kPerRound) {
+      // Fleet can no longer field a full round.
+      if (out.rounds_to_quarter_dead == 0) {
+        out.rounds_to_quarter_dead = round;
+      }
+      break;
+    }
+    for (std::size_t i : sel) {
+      battery[i] -= kCostPerReading;
+      if (battery[i] <= 0.0) {
+        battery[i] = 0.0;
+        ++dead;
+        if (out.rounds_to_first_death == 0) {
+          out.rounds_to_first_death = round;
+        }
+        if (dead * 4 >= kNodes && out.rounds_to_quarter_dead == 0) {
+          out.rounds_to_quarter_dead = round;
+        }
+      }
+      cands[i].state_of_charge = battery[i] / kCapacity;
+    }
+    if (out.rounds_to_quarter_dead != 0) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E14 — scheduling ablations (Section 5, energy efficiency)\n");
+
+  std::printf("\n## (a) fleet lifetime by selection policy "
+              "(40 phones, 10 readings/round, uneven charge)\n");
+  std::printf("%-18s  %12s  %14s\n", "policy", "first-death",
+              "quarter-dead");
+  for (auto policy : {sd::SelectionPolicy::kRandom,
+                      sd::SelectionPolicy::kBatteryAware,
+                      sd::SelectionPolicy::kRoundRobin}) {
+    LifetimeResult total{};
+    constexpr int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto r = run_lifetime(policy, 100 + t);
+      total.rounds_to_first_death += r.rounds_to_first_death;
+      total.rounds_to_quarter_dead += r.rounds_to_quarter_dead;
+    }
+    std::printf("%-18s  %12.1f  %14.1f\n",
+                sd::to_string(policy).c_str(),
+                total.rounds_to_first_death / double(kTrials),
+                total.rounds_to_quarter_dead / double(kTrials));
+  }
+
+  std::printf("\n## (b) adaptive sampler vs fixed budgets on a field whose "
+              "sparsity doubles mid-run\n");
+  constexpr std::size_t kN = 128;
+  constexpr int kWindows = 60;
+  const auto basis = linalg::dct_basis(kN);
+
+  auto signal_at = [&](int w, linalg::Rng& rng) {
+    const std::size_t k = w < kWindows / 2 ? 3 : 12;  // regime change
+    linalg::Vector alpha(kN, 0.0);
+    for (std::size_t j : rng.sample_without_replacement(kN / 2, k)) {
+      alpha[j] = rng.uniform(1.0, 2.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    }
+    return linalg::synthesize(basis, alpha);
+  };
+
+  auto run_budgeted = [&](std::size_t fixed_m, bool adaptive) {
+    linalg::Rng rng(7);
+    sd::AdaptiveSampler sampler({.m_min = 8, .m_max = 96, .m_initial = 24,
+                                 .target_error = 0.1, .grow = 2.0,
+                                 .shrink = 8});
+    double err_total = 0.0;
+    std::size_t samples_total = 0;
+    for (int w = 0; w < kWindows; ++w) {
+      const std::size_t m = adaptive ? sampler.budget() : fixed_m;
+      const auto x = signal_at(w, rng);
+      auto plan = cs::MeasurementPlan::random(kN, m, rng);
+      auto noise = cs::SensorNoise::homogeneous(m, 0.02);
+      const auto meas = cs::measure(x, std::move(plan), std::move(noise),
+                                    rng);
+      const auto rec = cs::chs_reconstruct(basis, meas);
+      const double err = linalg::nrmse(rec.reconstruction, x);
+      err_total += err;
+      samples_total += m;
+      if (adaptive) sampler.observe(err);
+    }
+    std::printf("%-18s  %10.4f  %10zu\n",
+                adaptive ? "adaptive"
+                         : ("fixed-" + std::to_string(fixed_m)).c_str(),
+                err_total / kWindows, samples_total);
+  };
+
+  std::printf("%-18s  %10s  %10s\n", "budget policy", "avg-nrmse",
+              "samples");
+  run_budgeted(16, false);
+  run_budgeted(48, false);
+  run_budgeted(96, false);
+  run_budgeted(0, true);
+
+  std::printf(
+      "\n# expected: battery-aware selection roughly doubles time-to-first-"
+      "death over random.  The adaptive budget needs no a-priori regime "
+      "knowledge: it avoids fixed-16's collapse after the sparsity change "
+      "and fixed-96's 2x sample cost, landing near the best fixed choice.\n");
+  return 0;
+}

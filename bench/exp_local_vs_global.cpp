@@ -1,0 +1,117 @@
+// E2 / Section 3 claim: exploiting *local* per-zone sparsity beats one
+// *global* sparsity level at equal measurement budget — "the number of
+// random observations from any region should correspond to the local
+// spatio-temporal sparsity ... instead of the global sparsity.
+// Intuitively, this should work better than the global scheme as the
+// local correlation among the nodes can be exploited in the local area."
+//
+// All three schemes use the SAME measurement substrate (iid sensor noise,
+// random plans, CHS reconstruction) so only the allocation policy and the
+// basis scope differ:
+//   global           — Luo CDG: one plan + one basis over all N points;
+//   zonal, uniform   — per-zone bases, equal split of the same budget;
+//   zonal, adaptive  — per-zone bases, budget split by K_z log N_z.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/cdg_luo.h"
+#include "cs/chs.h"
+#include "field/generators.h"
+#include "field/sparsity.h"
+#include "field/zones.h"
+#include "hierarchy/adaptive.h"
+#include "linalg/basis.h"
+
+using namespace sensedroid;
+
+namespace {
+
+constexpr double kSigma = 0.05;
+
+// Per-zone compressive gathering with the given budgets.
+double zonal_gather_nrmse(const field::SpatialField& truth,
+                          const field::ZoneGrid& grid,
+                          const std::vector<std::size_t>& budgets,
+                          linalg::Rng& rng) {
+  field::SpatialField out(truth.width(), truth.height());
+  for (std::size_t id = 0; id < grid.zone_count(); ++id) {
+    const auto zone_truth = grid.extract(truth, id);
+    const std::size_t n = zone_truth.size();
+    const std::size_t m = std::clamp<std::size_t>(budgets[id], 2, n);
+    auto plan = cs::MeasurementPlan::random(n, m, rng);
+    auto noise = cs::SensorNoise::homogeneous(m, kSigma);
+    const auto meas = cs::measure(zone_truth.flat(), std::move(plan),
+                                  std::move(noise), rng);
+    linalg::Vector rec;
+    if (m == n) {
+      // The sparsity estimator declared the zone incompressible and the
+      // budget went dense: the readings ARE the reconstruction.
+      rec = meas.values;
+    } else {
+      const auto basis = linalg::dct_basis(n);
+      cs::ChsOptions opts;
+      opts.interpolation = cs::Interpolation::kLinear;  // smooth fields
+      rec = cs::chs_reconstruct(basis, meas, opts).reconstruction;
+    }
+    grid.insert(out, id,
+                field::SpatialField::from_vector(zone_truth.width(),
+                                                 zone_truth.height(), rec));
+  }
+  return field::field_nrmse(out, truth);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kW = 32, kH = 32;
+  constexpr int kTrials = 8;
+
+  linalg::Rng field_rng(42);
+  const auto truth = field::quadrant_contrast_field(kW, kH, field_rng);
+  field::ZoneGrid grid(kW, kH, 4, 4);
+
+  // Adaptive budgets at a deliberately tight constant so the schemes
+  // operate in the interesting (sub-Nyquist) regime.
+  const auto decisions = hierarchy::decide_budgets_live(
+      truth, grid, linalg::BasisKind::kDct, {}, /*c=*/0.8);
+  std::vector<std::size_t> adaptive(grid.zone_count());
+  for (const auto& d : decisions) adaptive[d.zone_id] = d.measurements;
+  const std::size_t total = hierarchy::total_measurements(decisions);
+  std::vector<std::size_t> uniform(grid.zone_count(),
+                                   total / grid.zone_count());
+
+  std::printf("# E2 — local vs global sparsity at equal budget\n");
+  std::printf(
+      "# field 32x32 (N=%zu), budget %zu readings (%.0f%%), sigma %.2f, "
+      "%d trials\n",
+      truth.size(), total, 100.0 * total / truth.size(), kSigma, kTrials);
+
+  double err_global = 0.0, err_uniform = 0.0, err_adaptive = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    linalg::Rng rng_g(5000 + t);
+    cs::ChsOptions global_opts;
+    global_opts.interpolation = cs::Interpolation::kLinear;  // same Upsilon
+    err_global += baselines::cdg_global_gather(truth, total,
+                                               linalg::BasisKind::kDct,
+                                               kSigma, rng_g, global_opts)
+                      .nrmse;
+    linalg::Rng rng_u(5000 + t);
+    err_uniform += zonal_gather_nrmse(truth, grid, uniform, rng_u);
+    linalg::Rng rng_a(5000 + t);
+    err_adaptive += zonal_gather_nrmse(truth, grid, adaptive, rng_a);
+  }
+
+  std::printf("\n%-28s  %10s\n", "scheme", "nrmse");
+  std::printf("%-28s  %10.4f\n", "global (Luo CDG)", err_global / kTrials);
+  std::printf("%-28s  %10.4f\n", "zonal, uniform split",
+              err_uniform / kTrials);
+  std::printf("%-28s  %10.4f\n", "zonal, adaptive split",
+              err_adaptive / kTrials);
+  std::printf("\nper-zone adaptive budgets: ");
+  for (std::size_t m : adaptive) std::printf("%zu ", m);
+  std::printf(
+      "\n\n# paper: adaptive-local wins — flat zones need almost nothing, "
+      "freeing samples for the busy zones a global plan under-serves.\n");
+  return 0;
+}

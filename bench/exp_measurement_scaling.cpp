@@ -1,0 +1,69 @@
+// E8 / Section 4: "the solution alpha_K can be almost uniquely determined
+// (with probability nearly equal to 1) from M sampling points, where M is
+// in the order of O(K log N)".  We measure the minimal M reaching 90%
+// exact-recovery probability and compare it against K log N.
+#include <cmath>
+#include <cstdio>
+
+#include "cs/omp.h"
+#include "linalg/random.h"
+#include "linalg/vector_ops.h"
+
+using namespace sensedroid;
+
+namespace {
+
+// Fraction of random K-sparse instances OMP recovers exactly at (n, m, k).
+double recovery_rate(std::size_t n, std::size_t m, std::size_t k,
+                     int trials) {
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    linalg::Rng rng(7000 + static_cast<std::uint64_t>(t) * 97 + n * 13 + m);
+    linalg::Matrix a(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+    }
+    linalg::Vector alpha(n, 0.0);
+    for (std::size_t j : rng.sample_without_replacement(n, k)) {
+      alpha[j] = rng.uniform(1.0, 2.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    }
+    const auto y = a * alpha;
+    const auto sol = cs::omp_solve(a, y, {.max_sparsity = k});
+    if (linalg::relative_error(sol.coefficients, alpha) < 1e-6) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+// Minimal M (stepping by 2) whose recovery rate reaches 0.9.
+std::size_t min_m_for_recovery(std::size_t n, std::size_t k, int trials) {
+  for (std::size_t m = k + 1; m <= n; m += 2) {
+    if (recovery_rate(n, m, k, trials) >= 0.9) return m;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTrials = 25;
+  std::printf("# E8 — measurements needed vs O(K log N)\n");
+  std::printf("# minimal M with >=90%% exact OMP recovery, %d trials/point\n",
+              kTrials);
+  std::printf("%5s %3s  %6s  %8s  %12s\n", "N", "K", "min-M", "K*lnN",
+              "M/(K*lnN)");
+
+  for (std::size_t k : {4u, 8u}) {
+    for (std::size_t n : {64u, 128u, 256u, 512u}) {
+      const std::size_t m = min_m_for_recovery(n, k, kTrials);
+      const double klogn = static_cast<double>(k) *
+                           std::log(static_cast<double>(n));
+      std::printf("%5zu %3zu  %6zu  %8.1f  %12.2f\n", n, k, m, klogn,
+                  static_cast<double>(m) / klogn);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "# paper: M tracks K log N with a modest constant — quadrupling N "
+      "only nudges M, while doubling K roughly doubles it.\n");
+  return 0;
+}

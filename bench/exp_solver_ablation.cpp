@@ -1,0 +1,100 @@
+// E17 — solver ablation: which sparse solver should a broker run?
+// OMP (the paper's eq. 13 recommendation), CoSaMP, normalized IHT, and
+// L1 basis pursuit via the simplex LP (eqs. 9-10), compared on exact
+// recovery rate and noise robustness at matched budgets.
+#include <chrono>
+#include <cstdio>
+
+#include "cs/basis_pursuit.h"
+#include "cs/greedy_variants.h"
+#include "cs/omp.h"
+#include "linalg/random.h"
+#include "linalg/vector_ops.h"
+
+using namespace sensedroid;
+
+namespace {
+
+constexpr std::size_t kN = 96, kK = 5;
+constexpr int kTrials = 30;
+
+struct Score {
+  int exact = 0;            // noise-free exact recoveries
+  double noisy_err = 0.0;   // mean relative error at sigma 0.05
+  double micros = 0.0;      // mean solve time (noise-free case)
+};
+
+template <typename Solver>
+Score run(Solver&& solve, std::size_t m) {
+  Score score;
+  for (int t = 0; t < kTrials; ++t) {
+    linalg::Rng rng(7000 + t * 13 + m);
+    linalg::Matrix a(m, kN);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < kN; ++j) a(i, j) = rng.gaussian();
+    }
+    linalg::Vector alpha(kN, 0.0);
+    for (std::size_t j : rng.sample_without_replacement(kN, kK)) {
+      alpha[j] = rng.uniform(1.0, 2.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    }
+    const auto y = a * alpha;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sol = solve(a, y);
+    const auto t1 = std::chrono::steady_clock::now();
+    score.micros +=
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    if (linalg::relative_error(sol.coefficients, alpha) < 1e-6) {
+      ++score.exact;
+    }
+
+    auto noisy = y;
+    for (double& v : noisy) v += rng.gaussian(0.0, 0.05);
+    const auto nsol = solve(a, noisy);
+    score.noisy_err += linalg::relative_error(nsol.coefficients, alpha);
+  }
+  score.noisy_err /= kTrials;
+  score.micros /= kTrials;
+  return score;
+}
+
+void report(const char* name, const Score& s, std::size_t m) {
+  std::printf("%-14s %4zu  %8.0f%%  %11.4f  %9.0f\n", name, m,
+              100.0 * s.exact / kTrials, s.noisy_err, s.micros);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E17 — sparse-solver ablation (N=%zu, K=%zu, %d trials)\n",
+              kN, kK, kTrials);
+  std::printf("%-14s %4s  %9s  %11s  %9s\n", "solver", "M", "exact",
+              "noisy-err", "usec");
+
+  for (std::size_t m : {20u, 28u, 40u}) {
+    report("omp", run([](const auto& a, const auto& y) {
+             return cs::omp_solve(a, y, {.max_sparsity = kK});
+           }, m), m);
+    report("cosamp", run([](const auto& a, const auto& y) {
+             return cs::cosamp_solve(a, y, {.sparsity = kK});
+           }, m), m);
+    report("niht", run([](const auto& a, const auto& y) {
+             return cs::iht_solve(a, y, {.sparsity = kK});
+           }, m), m);
+    report("bp-simplex", run([](const auto& a, const auto& y) {
+             auto sol = cs::basis_pursuit(a, y);
+             // BP has no K budget; truncate for a fair support metric.
+             sol.coefficients =
+                 linalg::hard_threshold(sol.coefficients, kK);
+             return sol;
+           }, m), m);
+    std::printf("\n");
+  }
+  std::printf(
+      "# expected: at generous M every solver recovers; near the phase "
+      "transition BP and CoSaMP hold on longest; OMP is the fastest by "
+      "an order of magnitude and matches everyone at moderate M — the "
+      "sensible broker default, with BP the accuracy ceiling when "
+      "latency does not matter.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E12 / Fig. 3: virtual sensors — fusion (orientation / compass /
+// inclinometer) accuracy across phone quality tiers, and the compressive
+// IsDriving context accuracy across sampling budgets.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "context/is_driving.h"
+#include "sensing/fusion.h"
+#include "sensing/probe.h"
+#include "sensing/sensor.h"
+#include "sensing/signals.h"
+
+using namespace sensedroid;
+
+namespace {
+
+// Mean absolute pitch error of the complementary filter holding a
+// 30-degree attitude with tier-level sensor noise.
+double orientation_error_deg(sensing::QualityTier tier, int steps) {
+  linalg::Rng rng(55);
+  const double accel_sigma =
+      sensing::nominal_noise_sigma(sensing::SensorKind::kAccelerometer) *
+      sensing::tier_noise_factor(tier) * 10.0;  // m/s^2 scale
+  const double gyro_sigma =
+      sensing::nominal_noise_sigma(sensing::SensorKind::kGyroscope) *
+      sensing::tier_noise_factor(tier);
+  const double mag_sigma =
+      sensing::nominal_noise_sigma(sensing::SensorKind::kMagnetometer) *
+      sensing::tier_noise_factor(tier);
+
+  const double pitch = std::numbers::pi / 6.0;
+  const sensing::TriAxial g{0.0, 9.81 * std::sin(pitch),
+                            9.81 * std::cos(pitch)};
+  const sensing::TriAxial b{25.0, 0.0, -35.0};
+
+  sensing::ComplementaryFilter filter(0.95);
+  double err = 0.0;
+  int counted = 0;
+  for (int i = 0; i < steps; ++i) {
+    const sensing::TriAxial accel{g.x + rng.gaussian(0.0, accel_sigma),
+                                  g.y + rng.gaussian(0.0, accel_sigma),
+                                  g.z + rng.gaussian(0.0, accel_sigma)};
+    const sensing::TriAxial gyro{rng.gaussian(0.0, gyro_sigma),
+                                 rng.gaussian(0.0, gyro_sigma),
+                                 rng.gaussian(0.0, gyro_sigma)};
+    const sensing::TriAxial mag{b.x + rng.gaussian(0.0, mag_sigma),
+                                b.y + rng.gaussian(0.0, mag_sigma),
+                                b.z + rng.gaussian(0.0, mag_sigma)};
+    const auto o = filter.update(gyro, accel, mag, 0.02);
+    if (i >= steps / 4) {  // skip convergence
+      err += std::abs(o.pitch - pitch);
+      ++counted;
+    }
+  }
+  return err / counted * 180.0 / std::numbers::pi;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E12 — virtual sensors (Fig. 3)\n");
+
+  std::printf("\n## fusion: orientation error by phone quality tier\n");
+  std::printf("%-10s  %14s\n", "tier", "pitch-err-deg");
+  std::printf("%-10s  %14.2f\n", "flagship",
+              orientation_error_deg(sensing::QualityTier::kFlagship, 2000));
+  std::printf("%-10s  %14.2f\n", "midrange",
+              orientation_error_deg(sensing::QualityTier::kMidrange, 2000));
+  std::printf("%-10s  %14.2f\n", "budget",
+              orientation_error_deg(sensing::QualityTier::kBudget, 2000));
+
+  std::printf("\n## compressive IsDriving accuracy vs sampling budget\n");
+  std::printf("%7s  %9s  %11s\n", "budget", "accuracy", "energy-save");
+  constexpr double kRate = 50.0;
+  constexpr std::size_t kWindow = 256;
+  constexpr int kTrials = 25;
+  context::IsDrivingDetector detector(kRate);
+
+  for (std::size_t budget : {kWindow, 128ul, 64ul, 48ul, 32ul, 16ul}) {
+    int correct = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      for (bool driving : {false, true}) {
+        linalg::Rng rng(6000 + t * 2 + driving);
+        const auto trace = sensing::accelerometer_trace(
+            driving ? sensing::Activity::kDriving
+                    : sensing::Activity::kWalking,
+            kWindow, kRate, rng);
+        sensing::SensingProbe probe(
+            sensing::SimulatedSensor(
+                sensing::SensorKind::kAccelerometer,
+                sensing::QualityTier::kMidrange,
+                [&trace](std::size_t i) { return trace[i % trace.size()]; },
+                6000 + t),
+            {.mode = budget == kWindow
+                         ? sensing::SamplingMode::kContinuous
+                         : sensing::SamplingMode::kCompressive,
+             .window = kWindow, .budget = budget,
+             .seed = 6000 + static_cast<std::uint64_t>(t)});
+        const auto d = detector.decide(probe.acquire(0), 0.05);
+        if (d.is_driving == driving) ++correct;
+      }
+    }
+    std::printf("%7zu  %8.0f%%  %10.0f%%\n", budget,
+                100.0 * correct / (2.0 * kTrials),
+                100.0 * (1.0 - static_cast<double>(budget) / kWindow));
+  }
+  std::printf(
+      "\n# paper: fusion degrades gracefully with sensor quality; the "
+      "IsDriving context survives ~8x compression before accuracy breaks.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E16 / Section 3 (ablation): sequential spatio-temporal reconstruction.
+// "SenseDroid employs compressive sensing in the temporal dimension to
+// exploit the temporal correlation in the sensor measurements" — here the
+// correlation exploited is support persistence across frames: warm-
+// starting each frame's CHS with the previous support should cut both
+// error (at small budgets) and iterations.
+#include <cstdio>
+
+#include "cs/spatiotemporal.h"
+#include "field/traces.h"
+#include "linalg/basis.h"
+#include "linalg/vector_ops.h"
+
+using namespace sensedroid;
+
+int main() {
+  constexpr std::size_t kW = 12, kH = 12;
+  constexpr std::size_t kFrames = 30;
+  const std::size_t n = kW * kH;
+
+  linalg::Rng rng(17);
+  const auto traces =
+      field::evolving_plume_traces(kW, kH, 3, kFrames, rng, 0.4);
+  const auto basis = linalg::dct_basis(n);
+
+  std::printf("# E16 — temporal warm start vs per-frame cold start\n");
+  std::printf("# %zux%zu evolving plume, %zu frames, sigma 0.01\n\n", kW, kH,
+              kFrames);
+  std::printf("%4s  %11s %10s  %11s %10s\n", "M", "cold-nrmse", "cold-iter",
+              "warm-nrmse", "warm-iter");
+
+  for (std::size_t m : {16u, 24u, 32u, 48u, 72u}) {
+    double cold_err = 0.0, warm_err = 0.0;
+    std::size_t cold_iters = 0, warm_iters = 0;
+
+    cs::SequentialReconstructor::Params params;
+    params.chs.interpolation = cs::Interpolation::kLinear;
+    cs::SequentialReconstructor seq(params);
+
+    for (std::size_t t = 0; t < kFrames; ++t) {
+      const auto x = traces.at(t).vectorize();
+      linalg::Rng frame_rng(500 + t * 31 + m);
+      auto plan = cs::MeasurementPlan::random(n, m, frame_rng);
+      auto noise = cs::SensorNoise::homogeneous(m, 0.01);
+      const auto meas =
+          cs::measure(x, std::move(plan), std::move(noise), frame_rng);
+
+      cs::ChsOptions cold;
+      cold.interpolation = cs::Interpolation::kLinear;
+      const auto c = cs::chs_reconstruct(basis, meas, cold);
+      cold_err += linalg::nrmse(c.reconstruction, x);
+      cold_iters += c.iterations;
+
+      const auto w = seq.step(basis, meas);
+      warm_err += linalg::nrmse(w.reconstruction, x);
+      warm_iters += w.iterations;
+    }
+    std::printf("%4zu  %11.4f %10.1f  %11.4f %10.1f\n", m,
+                cold_err / kFrames,
+                static_cast<double>(cold_iters) / kFrames,
+                warm_err / kFrames,
+                static_cast<double>(warm_iters) / kFrames);
+  }
+  std::printf(
+      "\n# expected: warm start needs fewer greedy iterations per frame "
+      "and matches or beats cold-start error, with the gap largest at "
+      "small M where cold atom selection is fragile.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E10 / Fig. 5: criticality-steered per-zone compression — "Increased
+// emphasis, attention and resources can be directed to the areas of most
+// impact and effects" / "Multi-resolution compressive thresholds i.e.
+// number of sensing samples collected from a region based on the size and
+// importance."
+//
+// A fire-front field; the burning zones are marked critical.  Uniform vs
+// criticality-weighted budgets at equal total cost; we report the error
+// in the critical zones vs elsewhere.
+#include <cstdio>
+#include <vector>
+
+#include "field/generators.h"
+#include "field/zones.h"
+#include "hierarchy/adaptive.h"
+#include "hierarchy/localcloud.h"
+
+using namespace sensedroid;
+
+int main() {
+  constexpr std::size_t kW = 24, kH = 24;
+  constexpr int kTrials = 5;
+
+  std::vector<field::FireRegion> regions{{5.0, 18.0, 4.0, 5.0, 600.0},
+                                         {10.0, 21.0, 2.0, 2.0, 450.0}};
+  const auto truth = field::fire_front_field(kW, kH, regions, 20.0, 2.5);
+  field::ZoneGrid grid(kW, kH, 3, 3);
+
+  // Zones 1, 2, 5 cover the burning corner.
+  const std::vector<std::size_t> critical{1, 2, 5};
+  std::vector<hierarchy::ZonePolicy> policies(grid.zone_count());
+  for (std::size_t z : critical) policies[z].criticality = 2.5;
+
+  const auto weighted = hierarchy::decide_budgets_live(
+      truth, grid, linalg::BasisKind::kDct, policies);
+  const std::size_t total = hierarchy::total_measurements(weighted);
+  const std::size_t per_zone = total / grid.zone_count();
+
+  std::printf("# E10 — criticality-weighted zone budgets (Fig. 5)\n");
+  std::printf("# fire field %zux%zu, 3x3 zones, equal total budget %zu\n",
+              kW, kH, total);
+
+  double u_crit = 0.0, u_rest = 0.0, w_crit = 0.0, w_rest = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    hierarchy::NanoCloudConfig cfg;
+    cfg.coverage = 1.0;
+    linalg::Rng rng_u(9000 + t);
+    hierarchy::LocalCloud lc_u(truth, grid, cfg, rng_u);
+    const auto uniform = lc_u.gather_uniform(per_zone, rng_u);
+    linalg::Rng rng_w(9000 + t);
+    hierarchy::LocalCloud lc_w(truth, grid, cfg, rng_w);
+    const auto steered = lc_w.gather(weighted, rng_w);
+
+    for (std::size_t z = 0; z < grid.zone_count(); ++z) {
+      const bool is_crit =
+          std::find(critical.begin(), critical.end(), z) != critical.end();
+      (is_crit ? u_crit : u_rest) += uniform.zone_nrmse[z];
+      (is_crit ? w_crit : w_rest) += steered.zone_nrmse[z];
+    }
+  }
+  const double nc = static_cast<double>(critical.size() * kTrials);
+  const double nr =
+      static_cast<double>((grid.zone_count() - critical.size()) * kTrials);
+
+  std::printf("\n%-24s  %14s  %14s\n", "allocation", "critical-nrmse",
+              "other-nrmse");
+  std::printf("%-24s  %14.4f  %14.4f\n", "uniform", u_crit / nc, u_rest / nr);
+  std::printf("%-24s  %14.4f  %14.4f\n", "criticality-weighted",
+              w_crit / nc, w_rest / nr);
+  std::printf("\nper-zone budgets (weighted): ");
+  for (const auto& d : weighted) std::printf("%zu ", d.measurements);
+  std::printf(
+      "\n\n# paper: steering cuts the error where it matters (the fire "
+      "front) for a modest error increase in quiet zones.\n");
+  return 0;
+}

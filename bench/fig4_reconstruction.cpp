@@ -1,0 +1,67 @@
+// E1 / Fig. 4: "Accuracy of reconstruction as a function of number of
+// measurements.  As the number of measurements (or compression ratio)
+// increases, the reconstruction error is reduced."
+//
+// The paper's subject signal: a 256-sample accelerometer trace in the
+// IsDriving pipeline, reconstructed "from just 30 random samples".  We
+// sweep M, reporting NRMSE for the CHS loop (Fig. 6) and OMP (eq. 13),
+// plus the IsDriving classification accuracy at each budget.
+#include <cstdio>
+
+#include "context/is_driving.h"
+#include "cs/chs.h"
+#include "cs/omp.h"
+#include "linalg/basis.h"
+#include "linalg/vector_ops.h"
+#include "sensing/probe.h"
+#include "sensing/signals.h"
+
+using namespace sensedroid;
+
+int main() {
+  constexpr std::size_t kN = 256;
+  constexpr double kRate = 50.0;
+  constexpr int kTrials = 20;
+  const auto basis = linalg::dct_basis(kN);
+
+  std::printf("# E1 / Fig. 4 — reconstruction error vs measurements\n");
+  std::printf("# signal: 256-sample accelerometer (driving), %d trials\n",
+              kTrials);
+  std::printf("%4s  %6s  %10s  %10s  %12s\n", "M", "ratio", "chs-nrmse",
+              "omp-nrmse", "isdriving-acc");
+
+  for (std::size_t m : {8u, 16u, 24u, 30u, 40u, 56u, 80u, 112u, 128u}) {
+    double chs_err = 0.0, omp_err = 0.0;
+    int decisions_right = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      linalg::Rng rng(1000 + t);
+      const auto x = sensing::accelerometer_trace(sensing::Activity::kDriving,
+                                                  kN, kRate, rng);
+      auto plan = cs::MeasurementPlan::random(kN, m, rng);
+      auto noise = cs::SensorNoise::homogeneous(m, 0.05);
+      const auto meas = cs::measure(x, std::move(plan), std::move(noise), rng);
+
+      const auto chs = cs::chs_reconstruct(basis, meas);
+      chs_err += linalg::nrmse(chs.reconstruction, x);
+
+      const auto phi = meas.plan.select_rows(basis);
+      const auto omp = cs::omp_solve(
+          phi, meas.values, {.max_sparsity = std::max<std::size_t>(m / 2, 1)});
+      omp_err += linalg::nrmse(cs::reconstruct(basis, omp), x);
+
+      // Context decision through the reconstructed window.
+      const auto feats = context::extract_features(chs.reconstruction, kRate);
+      if (context::classify_activity(feats) == sensing::Activity::kDriving) {
+        ++decisions_right;
+      }
+    }
+    std::printf("%4zu  %5.0f%%  %10.4f  %10.4f  %11.0f%%\n", m,
+                100.0 * static_cast<double>(m) / kN, chs_err / kTrials,
+                omp_err / kTrials,
+                100.0 * decisions_right / static_cast<double>(kTrials));
+  }
+  std::printf(
+      "# paper: error falls steeply with M; ~30 random samples already "
+      "determine IsDriving.\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// E11 — google-benchmark microbenchmarks of the CS solver stack: the
+// costs a broker pays per reconstruction and a node pays per context
+// window.
+#include <benchmark/benchmark.h>
+
+#include "cs/basis_pursuit.h"
+#include "cs/greedy_variants.h"
+#include "cs/chs.h"
+#include "cs/least_squares.h"
+#include "cs/omp.h"
+#include "linalg/basis.h"
+#include "linalg/decomposition.h"
+#include "linalg/random.h"
+
+using namespace sensedroid;
+
+namespace {
+
+linalg::Matrix random_matrix(std::size_t m, std::size_t n,
+                             std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  linalg::Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+  }
+  return a;
+}
+
+linalg::Vector sparse_signal(const linalg::Matrix& basis, std::size_t k,
+                             linalg::Rng& rng) {
+  linalg::Vector alpha(basis.cols(), 0.0);
+  for (std::size_t j : rng.sample_without_replacement(basis.cols() / 2, k)) {
+    alpha[j] = rng.uniform(1.0, 2.0);
+  }
+  return basis * alpha;
+}
+
+void BM_DctBasisBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::dct_basis(n));
+  }
+}
+BENCHMARK(BM_DctBasisBuild)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_Omp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n / 4, k = 6;
+  const auto a = random_matrix(m, n, 11);
+  linalg::Rng rng(12);
+  linalg::Vector alpha(n, 0.0);
+  for (std::size_t j : rng.sample_without_replacement(n, k)) {
+    alpha[j] = rng.uniform(1.0, 2.0);
+  }
+  const auto y = a * alpha;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::omp_solve(a, y, {.max_sparsity = k}));
+  }
+}
+BENCHMARK(BM_Omp)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Cosamp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n / 4, k = 6;
+  const auto a = random_matrix(m, n, 21);
+  linalg::Rng rng(22);
+  linalg::Vector alpha(n, 0.0);
+  for (std::size_t j : rng.sample_without_replacement(n, k)) {
+    alpha[j] = rng.uniform(1.0, 2.0);
+  }
+  const auto y = a * alpha;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::cosamp_solve(a, y, {.sparsity = k}));
+  }
+}
+BENCHMARK(BM_Cosamp)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Niht(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n / 4, k = 6;
+  const auto a = random_matrix(m, n, 23);
+  linalg::Rng rng(24);
+  linalg::Vector alpha(n, 0.0);
+  for (std::size_t j : rng.sample_without_replacement(n, k)) {
+    alpha[j] = rng.uniform(1.0, 2.0);
+  }
+  const auto y = a * alpha;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::iht_solve(a, y, {.sparsity = k}));
+  }
+}
+BENCHMARK(BM_Niht)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_BasisPursuitLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n / 4, k = 4;
+  const auto a = random_matrix(m, n, 13);
+  linalg::Rng rng(14);
+  linalg::Vector alpha(n, 0.0);
+  for (std::size_t j : rng.sample_without_replacement(n, k)) {
+    alpha[j] = rng.uniform(1.0, 2.0);
+  }
+  const auto y = a * alpha;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::basis_pursuit(a, y));
+  }
+}
+BENCHMARK(BM_BasisPursuitLp)->Arg(48)->Arg(96);
+
+void BM_ChsReconstruct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n / 4;
+  const auto basis = linalg::dct_basis(n);
+  linalg::Rng rng(15);
+  const auto x = sparse_signal(basis, 6, rng);
+  auto plan = cs::MeasurementPlan::random(n, m, rng);
+  const auto meas = cs::measure_exact(x, std::move(plan));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::chs_reconstruct(basis, meas));
+  }
+}
+BENCHMARK(BM_ChsReconstruct)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Ols(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = m / 3;
+  const auto a = random_matrix(m, k, 16);
+  linalg::Rng rng(17);
+  const auto y = rng.gaussian_vector(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::solve_ols(a, y));
+  }
+}
+BENCHMARK(BM_Ols)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_GlsDiag(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = m / 3;
+  const auto a = random_matrix(m, k, 18);
+  linalg::Rng rng(19);
+  const auto y = rng.gaussian_vector(m);
+  linalg::Vector sigma(m);
+  for (auto& s : sigma) s = rng.uniform(0.01, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::solve_gls_diag(a, y, sigma));
+  }
+}
+BENCHMARK(BM_GlsDiag)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_PseudoInverse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n + 8, n, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::pseudo_inverse(a));
+  }
+}
+BENCHMARK(BM_PseudoInverse)->Arg(16)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

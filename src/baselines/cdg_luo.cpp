@@ -1,0 +1,54 @@
+#include "baselines/cdg_luo.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cs/measurement.h"
+
+namespace sensedroid::baselines {
+
+GlobalGatherResult cdg_global_gather(const field::SpatialField& truth,
+                                     std::size_t m, linalg::BasisKind basis,
+                                     double sigma, Rng& rng,
+                                     const cs::ChsOptions& chs) {
+  const std::size_t n = truth.size();
+  if (m == 0 || m > n) {
+    throw std::invalid_argument("cdg_global_gather: need 1 <= m <= N");
+  }
+  const auto phi = linalg::make_basis(basis, n, rng.next_u64());
+  auto plan = cs::MeasurementPlan::random(n, m, rng);
+  auto noise = cs::SensorNoise::homogeneous(m, sigma);
+  const auto x = truth.vectorize();
+  const auto meas = cs::measure(x, std::move(plan), std::move(noise), rng);
+  const auto res = cs::chs_reconstruct(phi, meas, chs);
+
+  GlobalGatherResult out;
+  out.reconstruction = field::SpatialField::from_vector(
+      truth.width(), truth.height(), res.reconstruction);
+  out.nrmse = field::field_nrmse(out.reconstruction, truth);
+  out.measurements = m;
+  return out;
+}
+
+std::size_t chain_transmissions_naive(std::size_t n) noexcept {
+  return n * (n + 1) / 2;
+}
+
+std::size_t chain_transmissions_cdg(std::size_t n, std::size_t m) noexcept {
+  return n * m;
+}
+
+std::size_t chain_transmissions_hybrid(std::size_t n,
+                                       std::size_t m) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 1; i <= n; ++i) total += std::min(i, m);
+  return total;
+}
+
+std::size_t star_transmissions_dense(std::size_t n) noexcept { return n; }
+
+std::size_t star_transmissions_compressive(std::size_t m) noexcept {
+  return 2 * m;  // command + reply per telemetered node
+}
+
+}  // namespace sensedroid::baselines

@@ -1,0 +1,59 @@
+// The Luo et al. compressive-data-gathering baseline (Section 2): global
+// constant sparsity, a single basis for the whole field, and a uniform
+// compression threshold "across the network regardless of the data field
+// characteristics" — exactly what the hierarchical scheme improves on.
+//
+// Also provides the transmission-count models of the CDG argument:
+// chain-relay WSNs cost O(N^2) messages naively and O(NM) under CDG,
+// while a mobile NanoCloud star costs N and M respectively (the broker is
+// one hop away — the "redundant leaf transmissions" critique of [14]).
+#pragma once
+
+#include <cstddef>
+
+#include "cs/chs.h"
+#include "field/spatial_field.h"
+#include "linalg/basis.h"
+#include "linalg/random.h"
+
+namespace sensedroid::baselines {
+
+using linalg::Rng;
+
+/// Result of a flat (non-hierarchical) global gathering round.
+struct GlobalGatherResult {
+  field::SpatialField reconstruction;
+  double nrmse = 0.0;
+  std::size_t measurements = 0;
+};
+
+/// Luo-style global compressive gathering: M uniform-random samples over
+/// the WHOLE field, one global basis, one global reconstruction.  Sensor
+/// noise is iid with `sigma`.  Throws std::invalid_argument when m == 0
+/// or m > field size.
+GlobalGatherResult cdg_global_gather(const field::SpatialField& truth,
+                                     std::size_t m, linalg::BasisKind basis,
+                                     double sigma, Rng& rng,
+                                     const cs::ChsOptions& chs = {});
+
+// ---- transmission-count models -----------------------------------------
+
+/// Chain WSN, naive relay: node i forwards i readings; total N(N+1)/2.
+std::size_t chain_transmissions_naive(std::size_t n) noexcept;
+
+/// Chain WSN under CDG: every node sends exactly M projection partials.
+std::size_t chain_transmissions_cdg(std::size_t n, std::size_t m) noexcept;
+
+/// Chain WSN under hybrid CDG (Luo's refinement): node i sends
+/// min(i, M) values; leaves stop padding.
+std::size_t chain_transmissions_hybrid(std::size_t n,
+                                       std::size_t m) noexcept;
+
+/// Mobile NanoCloud star, dense: every node reports once.
+std::size_t star_transmissions_dense(std::size_t n) noexcept;
+
+/// Mobile NanoCloud star, compressive: only the M telemetered nodes
+/// report (plus M commands from the broker).
+std::size_t star_transmissions_compressive(std::size_t m) noexcept;
+
+}  // namespace sensedroid::baselines

@@ -1,0 +1,19 @@
+#include "baselines/dense_gathering.h"
+
+namespace sensedroid::baselines {
+
+DenseGatherResult dense_gather(const field::SpatialField& truth, double sigma,
+                               Rng& rng) {
+  DenseGatherResult out;
+  out.reconstruction = truth;
+  if (sigma > 0.0) {
+    for (double& v : out.reconstruction.flat()) {
+      v += rng.gaussian(0.0, sigma);
+    }
+  }
+  out.nrmse = field::field_nrmse(out.reconstruction, truth);
+  out.measurements = truth.size();
+  return out;
+}
+
+}  // namespace sensedroid::baselines

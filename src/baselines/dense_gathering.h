@@ -1,0 +1,27 @@
+// Dense (non-compressive) gathering baseline: every grid point with a
+// sensor reports its raw reading.  Ground truth for "what accuracy would
+// we get if we just collected everything" and the cost anchor the
+// compressive schemes are measured against.
+#pragma once
+
+#include <cstddef>
+
+#include "field/spatial_field.h"
+#include "linalg/random.h"
+
+namespace sensedroid::baselines {
+
+using linalg::Rng;
+
+/// Result of one dense round.
+struct DenseGatherResult {
+  field::SpatialField reconstruction;  ///< raw noisy readings on the grid
+  double nrmse = 0.0;
+  std::size_t measurements = 0;        ///< == field size
+};
+
+/// Reads every grid point once with iid sensor noise `sigma`.
+DenseGatherResult dense_gather(const field::SpatialField& truth, double sigma,
+                               Rng& rng);
+
+}  // namespace sensedroid::baselines

@@ -1,0 +1,117 @@
+#include "baselines/interpolation.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/decomposition.h"
+#include "linalg/matrix.h"
+
+namespace sensedroid::baselines {
+
+namespace {
+
+struct GridPoint {
+  double i;
+  double j;
+};
+
+GridPoint coord(std::size_t k, std::size_t height) {
+  return {static_cast<double>(k % height),
+          static_cast<double>(k / height)};
+}
+
+double dist2(const GridPoint& a, const GridPoint& b) {
+  const double di = a.i - b.i;
+  const double dj = a.j - b.j;
+  return di * di + dj * dj;
+}
+
+void validate(std::span<const double> values,
+              std::span<const std::size_t> locations, std::size_t width,
+              std::size_t height) {
+  if (values.size() != locations.size() || values.empty()) {
+    throw std::invalid_argument("interpolation: bad sample set");
+  }
+  for (std::size_t l : locations) {
+    if (l >= width * height) {
+      throw std::invalid_argument("interpolation: location out of range");
+    }
+  }
+}
+
+}  // namespace
+
+field::SpatialField idw_reconstruct(std::span<const double> values,
+                                    std::span<const std::size_t> locations,
+                                    std::size_t width, std::size_t height) {
+  validate(values, locations, width, height);
+  field::SpatialField out(width, height);
+  const std::size_t n = width * height;
+  for (std::size_t g = 0; g < n; ++g) {
+    const GridPoint p = coord(g, height);
+    double wsum = 0.0, acc = 0.0;
+    bool exact = false;
+    for (std::size_t s = 0; s < values.size(); ++s) {
+      const double d2 = dist2(p, coord(locations[s], height));
+      if (d2 <= 1e-12) {
+        out.flat()[g] = values[s];
+        exact = true;
+        break;
+      }
+      const double w = 1.0 / d2;
+      acc += w * values[s];
+      wsum += w;
+    }
+    if (!exact) out.flat()[g] = acc / wsum;
+  }
+  return out;
+}
+
+field::SpatialField rbf_reconstruct(std::span<const double> values,
+                                    std::span<const std::size_t> locations,
+                                    std::size_t width, std::size_t height,
+                                    double scale) {
+  validate(values, locations, width, height);
+  const std::size_t m = values.size();
+
+  if (scale <= 0.0) {
+    // 2x the uniform-density spacing sqrt(area / M): wide enough that
+    // neighboring kernels overlap (narrow Gaussians spike at the samples
+    // and collapse between them), narrow enough to stay well-conditioned.
+    // (Mean nearest-neighbor spacing under-estimates the needed width for
+    // clustered random sample sets.)
+    const double area = static_cast<double>(width) *
+                        static_cast<double>(height);
+    scale = std::max(2.0 * std::sqrt(area / static_cast<double>(m)), 1.0);
+  }
+  const double inv_s2 = 1.0 / (scale * scale);
+
+  // Kernel system (SPD up to ties; ridge keeps it solvable).
+  linalg::Matrix k(m, m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      k(r, c) = std::exp(-dist2(coord(locations[r], height),
+                                coord(locations[c], height)) *
+                         inv_s2);
+    }
+    k(r, r) += 1e-8;
+  }
+  linalg::Cholesky chol(k);
+  const linalg::Vector w = chol.solve(values);
+
+  field::SpatialField out(width, height);
+  const std::size_t n = width * height;
+  for (std::size_t g = 0; g < n; ++g) {
+    const GridPoint p = coord(g, height);
+    double acc = 0.0;
+    for (std::size_t s = 0; s < m; ++s) {
+      acc += w[s] *
+             std::exp(-dist2(p, coord(locations[s], height)) * inv_s2);
+    }
+    out.flat()[g] = acc;
+  }
+  return out;
+}
+
+}  // namespace sensedroid::baselines

@@ -1,0 +1,30 @@
+// Non-CS spatial reconstruction baselines: classical scattered-data
+// interpolation.  The compressive pipeline has to beat these to justify
+// its machinery — if inverse-distance weighting from the same M samples
+// matches CHS, the basis bought nothing (experiment E18).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "field/spatial_field.h"
+
+namespace sensedroid::baselines {
+
+/// Inverse-distance-weighted reconstruction of a width x height field
+/// from samples at column-stacked indices `locations` (power = 2).
+/// Throws std::invalid_argument on size/shape mismatches.
+field::SpatialField idw_reconstruct(std::span<const double> values,
+                                    std::span<const std::size_t> locations,
+                                    std::size_t width, std::size_t height);
+
+/// Gaussian radial-basis-function interpolation: solves the M x M kernel
+/// system Phi w = v with phi(r) = exp(-(r/scale)^2) and evaluates on the
+/// grid.  `scale` <= 0 picks the mean nearest-neighbor spacing.  A small
+/// ridge (1e-8) keeps the kernel matrix well-posed.
+field::SpatialField rbf_reconstruct(std::span<const double> values,
+                                    std::span<const std::size_t> locations,
+                                    std::size_t width, std::size_t height,
+                                    double scale = 0.0);
+
+}  // namespace sensedroid::baselines

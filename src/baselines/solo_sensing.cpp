@@ -1,0 +1,46 @@
+#include "baselines/solo_sensing.h"
+
+#include <stdexcept>
+
+namespace sensedroid::baselines {
+
+CollaborationComparison compare_collaboration(
+    const CollaborationScenario& scenario) {
+  if (scenario.n_users == 0 || scenario.samples_needed == 0) {
+    throw std::invalid_argument(
+        "compare_collaboration: users and samples must be positive");
+  }
+  const double per_sample = sensing::sample_cost_j(scenario.sensor);
+  const std::size_t m = scenario.m_collaborative == 0
+                            ? scenario.samples_needed
+                            : scenario.m_collaborative;
+
+  CollaborationComparison out;
+  // Solo: every user takes every sample themselves; nothing is shared.
+  out.solo_energy_j = static_cast<double>(scenario.n_users) *
+                      static_cast<double>(scenario.samples_needed) *
+                      per_sample;
+
+  // Collaborative: m nodes each take one reading and ship it; the broker
+  // broadcasts one result every user receives.
+  const auto& link = scenario.link;
+  const double sensing_j = static_cast<double>(m) * per_sample;
+  const double telemetry_j =
+      static_cast<double>(m) *
+      (link.tx_energy_j(scenario.reading_bytes) +       // node reply
+       link.rx_energy_j(scenario.reading_bytes) +       // broker receives
+       link.tx_energy_j(32) + link.rx_energy_j(32));    // broker command
+  const double broadcast_j =
+      link.tx_energy_j(scenario.result_bytes) +
+      static_cast<double>(scenario.n_users) *
+          link.rx_energy_j(scenario.result_bytes);
+  out.collab_energy_j = sensing_j + telemetry_j + broadcast_j;
+
+  out.savings_fraction =
+      out.solo_energy_j > 0.0
+          ? 1.0 - out.collab_energy_j / out.solo_energy_j
+          : 0.0;
+  return out;
+}
+
+}  // namespace sensedroid::baselines

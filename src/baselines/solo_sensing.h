@@ -1,0 +1,42 @@
+// The non-collaborative baseline for experiment E4: every user who wants
+// the information senses it independently.  Collaboration via the broker
+// amortizes the sensing cost across the NanoCloud — "collaborative
+// sensing can achieve over 80% power savings compared to traditional
+// sensing without collaborations" (Section 5, citing Sheng et al.).
+#pragma once
+
+#include <cstddef>
+
+#include "sensing/sensor.h"
+#include "sim/radio.h"
+
+namespace sensedroid::baselines {
+
+/// Scenario parameters for the comparison.
+struct CollaborationScenario {
+  std::size_t n_users = 50;        ///< phones wanting the field estimate
+  std::size_t samples_needed = 64; ///< sensor samples a solo user takes
+  std::size_t m_collaborative = 0; ///< broker's compressive budget;
+                                   ///< 0 = same as samples_needed
+  sensing::SensorKind sensor = sensing::SensorKind::kGps;
+  sim::LinkModel link = sim::LinkModel::of(sim::RadioKind::kWiFi);
+  std::size_t reading_bytes = 32;  ///< per telemetered reading message
+  std::size_t result_bytes = 512;  ///< broadcast reconstruction summary
+};
+
+/// Energy accounting of the two strategies.
+struct CollaborationComparison {
+  double solo_energy_j = 0.0;    ///< total fleet energy, everyone alone
+  double collab_energy_j = 0.0;  ///< total fleet energy, via the broker
+  double savings_fraction = 0.0; ///< 1 - collab/solo
+};
+
+/// Computes both strategies' total fleet energy:
+///  - solo: n_users x samples_needed sensor reads, no radio;
+///  - collaborative: m sensor reads once, m command+reply exchanges, one
+///    result broadcast received by every user.
+/// Throws std::invalid_argument on a zero-user or zero-sample scenario.
+CollaborationComparison compare_collaboration(
+    const CollaborationScenario& scenario);
+
+}  // namespace sensedroid::baselines

@@ -1,0 +1,43 @@
+#include "context/activity.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace sensedroid::context {
+
+sensing::Activity classify_activity(const WindowFeatures& f,
+                                    const ActivityThresholds& thr) {
+  if (f.variance < thr.idle_variance) return sensing::Activity::kIdle;
+  return f.dominant_freq_hz <= thr.walking_max_freq_hz
+             ? sensing::Activity::kWalking
+             : sensing::Activity::kDriving;
+}
+
+double activity_accuracy(const sensing::LabeledTrace& trace,
+                         std::size_t window, double rate_hz,
+                         const ActivityThresholds& thr) {
+  if (window == 0 || trace.samples.size() < window) {
+    throw std::invalid_argument("activity_accuracy: trace shorter than window");
+  }
+  const std::size_t n_windows = trace.samples.size() / window;
+  std::size_t correct = 0;
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    const std::span<const double> seg(trace.samples.data() + w * window,
+                                      window);
+    // Majority ground-truth label over the segment.
+    std::array<std::size_t, 3> votes{};
+    for (std::size_t i = 0; i < window; ++i) {
+      votes[static_cast<std::size_t>(trace.labels[w * window + i])]++;
+    }
+    const auto majority = static_cast<sensing::Activity>(
+        std::distance(votes.begin(),
+                      std::max_element(votes.begin(), votes.end())));
+    const auto predicted =
+        classify_activity(extract_features(seg, rate_hz), thr);
+    if (predicted == majority) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n_windows);
+}
+
+}  // namespace sensedroid::context

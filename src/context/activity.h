@@ -1,0 +1,34 @@
+// Activity recognition from accelerometer windows (the UbiFit-style
+// "activity modeling to infer people's activities" of Section 1).
+// A transparent threshold classifier over the WindowFeatures bands: idle
+// is quiet, walking concentrates energy in the 1-5 Hz gait band, driving
+// in the >5 Hz vibration band.
+#pragma once
+
+#include "context/context_engine.h"
+#include "sensing/signals.h"
+
+namespace sensedroid::context {
+
+/// Classifier thresholds; defaults are calibrated for the synthetic
+/// accelerometer regimes of sensing::accelerometer_trace: human gait
+/// keeps its dominant harmonic under ~2.2 Hz, vehicular road/engine
+/// vibration sits at 3 Hz and above.
+struct ActivityThresholds {
+  double idle_variance = 0.05;        ///< below: idle
+  double walking_max_freq_hz = 2.9;   ///< dominant freq above: driving
+};
+
+/// Classifies one feature vector.
+sensing::Activity classify_activity(const WindowFeatures& f,
+                                    const ActivityThresholds& thr = {});
+
+/// Fraction of windows of a labeled trace classified correctly when the
+/// trace is cut into `window` -sample segments (majority label per
+/// segment is the ground truth).  Throws std::invalid_argument when the
+/// trace is shorter than one window.
+double activity_accuracy(const sensing::LabeledTrace& trace,
+                         std::size_t window, double rate_hz,
+                         const ActivityThresholds& thr = {});
+
+}  // namespace sensedroid::context

@@ -1,0 +1,68 @@
+// Compressive context processing (Section 3): "SenseDroid employs
+// compressive sensing in the temporal dimension to exploit the temporal
+// correlation in the sensor measurements to achieve energy efficient
+// context determination."
+//
+// The engine turns a compressive SampleBatch into a full reconstructed
+// window (CHS over a DCT basis) plus the feature vector context
+// classifiers consume.  Bases are cached per window length because
+// building an N x N DCT is the expensive step.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "cs/chs.h"
+#include "linalg/matrix.h"
+#include "sensing/probe.h"
+
+namespace sensedroid::context {
+
+using linalg::Vector;
+
+/// Scalar features of one signal window.
+struct WindowFeatures {
+  double mean = 0.0;
+  double variance = 0.0;
+  double dominant_freq_hz = 0.0;  ///< frequency of the largest AC DCT atom
+  double band_energy_low = 0.0;   ///< spectrum energy below 1 Hz
+  double band_energy_mid = 0.0;   ///< 1..5 Hz (gait band)
+  double band_energy_high = 0.0;  ///< above 5 Hz (vibration band)
+  double zero_crossing_rate = 0.0;
+};
+
+/// Extracts features from a full window sampled at `rate_hz`.  Throws
+/// std::invalid_argument on empty input or non-positive rate.
+WindowFeatures extract_features(std::span<const double> window,
+                                double rate_hz);
+
+/// One reconstructed acquisition window.
+struct ContextWindow {
+  Vector reconstruction;   ///< full window estimate
+  WindowFeatures features;
+  double sensing_energy_j = 0.0;
+  std::size_t samples_used = 0;  ///< measurements actually taken
+};
+
+/// Reconstructs contexts from (possibly compressive) probe batches.
+class ContextEngine {
+ public:
+  /// `rate_hz` is the probe's nominal sampling rate (for feature
+  /// frequencies).  Throws std::invalid_argument when <= 0.
+  explicit ContextEngine(double rate_hz);
+
+  /// Processes one batch: continuous batches pass through, compressive /
+  /// uniform batches are CHS-reconstructed in a DCT basis first.
+  ContextWindow process(const sensing::SampleBatch& batch,
+                        double sensor_sigma);
+
+  double rate_hz() const noexcept { return rate_hz_; }
+
+ private:
+  const linalg::Matrix& basis_for(std::size_t n);
+
+  double rate_hz_;
+  std::map<std::size_t, linalg::Matrix> basis_cache_;
+};
+
+}  // namespace sensedroid::context

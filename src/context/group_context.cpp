@@ -1,0 +1,70 @@
+#include "context/group_context.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sensedroid::context {
+
+double group_stress_quotient(std::span<const double> member_stress) {
+  if (member_stress.empty()) {
+    throw std::invalid_argument("group_stress_quotient: empty group");
+  }
+  double sum = 0.0;
+  double worst = 0.0;
+  for (double s : member_stress) {
+    if (s < 0.0 || s > 1.0) {
+      throw std::invalid_argument(
+          "group_stress_quotient: stress must be in [0, 1]");
+    }
+    sum += s;
+    worst = std::max(worst, s);
+  }
+  const double mean = sum / static_cast<double>(member_stress.size());
+  // 70% shared mood, 30% the most stressed member.
+  return std::clamp(0.7 * mean + 0.3 * worst, 0.0, 1.0);
+}
+
+double family_health_indicator(std::span<const MemberDay> family) {
+  if (family.empty()) {
+    throw std::invalid_argument("family_health_indicator: empty family");
+  }
+  double total = 0.0;
+  for (const MemberDay& m : family) {
+    const double activity = std::min(m.active_minutes / 45.0, 1.0);
+    const double sleep = std::min(m.sleep_hours / 8.0, 1.0);
+    const double stress = std::clamp(m.stress_level, 0.0, 1.0);
+    const double exposure = std::clamp(m.pollutant_exposure, 0.0, 1.0);
+    const double score =
+        100.0 * (0.35 * activity + 0.35 * sleep + 0.20 * (1.0 - stress) +
+                 0.10 * (1.0 - exposure));
+    total += score;
+  }
+  return total / static_cast<double>(family.size());
+}
+
+bool majority_context(const std::vector<bool>& member_flags) {
+  if (member_flags.empty()) {
+    throw std::invalid_argument("majority_context: empty group");
+  }
+  std::size_t yes = 0;
+  for (bool f : member_flags) {
+    if (f) ++yes;
+  }
+  return 2 * yes > member_flags.size();
+}
+
+double context_agreement(const std::vector<bool>& member_flags) {
+  if (member_flags.empty()) {
+    throw std::invalid_argument("context_agreement: empty group");
+  }
+  std::size_t yes = 0;
+  for (bool f : member_flags) {
+    if (f) ++yes;
+  }
+  const std::size_t majority = std::max(yes, member_flags.size() - yes);
+  return static_cast<double>(majority) /
+         static_cast<double>(member_flags.size());
+}
+
+}  // namespace sensedroid::context

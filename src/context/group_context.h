@@ -1,0 +1,42 @@
+// Group context determination (Section 1 and the middleware feature list:
+// "shared sensing and context are used to determine group context,
+// behavior, and preferences").  Implements the paper's named examples:
+// combined stress quotient and the family health indicator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sensedroid::context {
+
+/// One member's daily wellness summary (from their local contexts).
+struct MemberDay {
+  double stress_level = 0.0;    ///< 0 (calm) .. 1 (max stress)
+  double active_minutes = 0.0;  ///< walking/exercise minutes
+  double sleep_hours = 0.0;
+  double pollutant_exposure = 0.0;  ///< 0 .. 1 normalized dose
+};
+
+/// Combined stress quotient of a group: mean stress amplified by the
+/// worst member (a stressed member stresses the family).  Range [0, 1].
+/// Throws std::invalid_argument when the group is empty or a level is
+/// outside [0, 1].
+double group_stress_quotient(std::span<const double> member_stress);
+
+/// Family health indicator in [0, 100]: rewards activity (target 45
+/// min/day) and sleep (target 8 h), penalizes stress and exposure.
+/// Throws std::invalid_argument on an empty family.
+double family_health_indicator(std::span<const MemberDay> family);
+
+/// Majority boolean context over group members (ties -> false); e.g. "is
+/// the group indoors".  Takes a vector<bool> because that is what the
+/// per-member flag pipelines produce (and span<const bool> cannot view
+/// the packed representation).  Throws std::invalid_argument when empty.
+bool majority_context(const std::vector<bool>& member_flags);
+
+/// Fraction of members agreeing with the majority — a confidence measure
+/// for group decisions.
+double context_agreement(const std::vector<bool>& member_flags);
+
+}  // namespace sensedroid::context

@@ -1,0 +1,20 @@
+#include "context/is_driving.h"
+
+namespace sensedroid::context {
+
+IsDrivingDetector::IsDrivingDetector(double rate_hz,
+                                     const ActivityThresholds& thr)
+    : engine_(rate_hz), thresholds_(thr) {}
+
+DrivingDecision IsDrivingDetector::decide(const sensing::SampleBatch& batch,
+                                          double sensor_sigma) {
+  const ContextWindow w = engine_.process(batch, sensor_sigma);
+  DrivingDecision d;
+  d.classified = classify_activity(w.features, thresholds_);
+  d.is_driving = d.classified == sensing::Activity::kDriving;
+  d.sensing_energy_j = w.sensing_energy_j;
+  d.samples_used = w.samples_used;
+  return d;
+}
+
+}  // namespace sensedroid::context

@@ -1,0 +1,41 @@
+// The 'IsDriving' computational virtual sensor (Fig. 3 / Fig. 4): detects
+// vehicular motion from a (compressively sampled) accelerometer window.
+// "Fig. 4 shows the reconstruction accuracy of an accelerometer signal of
+// 256 samples from just 30 random samples in determining the 'IsDriving'
+// context" — bench/fig4_reconstruction regenerates that curve through
+// this detector's pipeline.
+#pragma once
+
+#include <cstddef>
+
+#include "context/activity.h"
+#include "context/context_engine.h"
+#include "sensing/probe.h"
+
+namespace sensedroid::context {
+
+/// Result of one detection window.
+struct DrivingDecision {
+  bool is_driving = false;
+  sensing::Activity classified = sensing::Activity::kIdle;
+  double sensing_energy_j = 0.0;
+  std::size_t samples_used = 0;
+};
+
+/// Detects driving from accelerometer windows fed through a ContextEngine.
+class IsDrivingDetector {
+ public:
+  /// `rate_hz` = accelerometer rate.  Throws when <= 0.
+  explicit IsDrivingDetector(double rate_hz,
+                             const ActivityThresholds& thr = {});
+
+  /// Decides from one (continuous or compressive) batch.
+  DrivingDecision decide(const sensing::SampleBatch& batch,
+                         double sensor_sigma);
+
+ private:
+  ContextEngine engine_;
+  ActivityThresholds thresholds_;
+};
+
+}  // namespace sensedroid::context

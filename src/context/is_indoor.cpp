@@ -1,0 +1,76 @@
+#include "context/is_indoor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cs/chs.h"
+#include "linalg/basis.h"
+
+namespace sensedroid::context {
+
+std::vector<bool> indoor_flags(std::span<const double> gps_quality,
+                               std::span<const double> wifi_count,
+                               const IndoorThresholds& thr) {
+  if (gps_quality.size() != wifi_count.size()) {
+    throw std::invalid_argument("indoor_flags: size mismatch");
+  }
+  std::vector<bool> flags(gps_quality.size());
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    const double gps_term =
+        1.0 - std::clamp(gps_quality[i], 0.0, 1.0);  // weak fix -> indoor
+    const double wifi_term =
+        std::clamp(wifi_count[i] / thr.wifi_norm, 0.0, 1.0);
+    const double score =
+        thr.gps_weight * gps_term + thr.wifi_weight * wifi_term;
+    flags[i] = score > 0.5;
+  }
+  return flags;
+}
+
+IndoorEvaluation evaluate_indoor_detector(
+    const std::vector<bool>& truth_schedule, sensing::SensingProbe& gps_probe,
+    sensing::SensingProbe& wifi_probe, const IndoorThresholds& thr) {
+  const std::size_t window = gps_probe.config().window;
+  if (wifi_probe.config().window != window) {
+    throw std::invalid_argument(
+        "evaluate_indoor_detector: probes must share a window length");
+  }
+  const std::size_t n_windows = truth_schedule.size() / window;
+  if (n_windows == 0) {
+    throw std::invalid_argument(
+        "evaluate_indoor_detector: schedule shorter than one window");
+  }
+
+  const auto basis = linalg::dct_basis(window);
+  auto reconstruct = [&](const sensing::SampleBatch& batch,
+                         double sigma) -> linalg::Vector {
+    if (batch.indices.size() == batch.window) return batch.values;
+    const auto meas = batch.to_measurement(sigma);
+    return cs::chs_reconstruct(basis, meas).reconstruction;
+  };
+
+  IndoorEvaluation ev;
+  std::size_t correct = 0;
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    const std::size_t start = w * window;
+    auto gps_batch = gps_probe.acquire(start);
+    auto wifi_batch = wifi_probe.acquire(start);
+    ev.sensing_energy_j += gps_batch.energy_j + wifi_batch.energy_j;
+    ev.gps_samples += gps_batch.indices.size();
+    ev.wifi_samples += wifi_batch.indices.size();
+
+    const auto gps_full =
+        reconstruct(gps_batch, gps_probe.sensor().noise_sigma());
+    const auto wifi_full =
+        reconstruct(wifi_batch, wifi_probe.sensor().noise_sigma());
+    const auto flags = indoor_flags(gps_full, wifi_full, thr);
+    for (std::size_t i = 0; i < window; ++i) {
+      if (flags[i] == truth_schedule[start + i]) ++correct;
+    }
+  }
+  ev.accuracy = static_cast<double>(correct) /
+                static_cast<double>(n_windows * window);
+  return ev;
+}
+
+}  // namespace sensedroid::context

@@ -1,0 +1,55 @@
+// The 'IsIndoor' computational virtual sensor (Section 3): "we use
+// compressive sampling instead of continuous uniform measurement of the
+// GPS and WiFi to derive the 'IsIndoor' flag with similar accuracy while
+// saving energy consumption.  This 'IsIndoor' flag spatial field can be
+// used, for instance, during an earthquake to assess the potential
+// dangers to human life."
+//
+// Detection fuses two cues: GPS fix quality collapses indoors, visible
+// WiFi AP count rises indoors.  Under compressive sampling both signals
+// are acquired at a fraction of the window and CHS-reconstructed before
+// thresholding; experiment E7 sweeps the budget and reports the
+// accuracy/energy trade.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "context/context_engine.h"
+#include "linalg/matrix.h"
+#include "sensing/probe.h"
+
+namespace sensedroid::context {
+
+/// Fusion thresholds: indoor when a weighted score of (1 - gps_quality)
+/// and normalized wifi count crosses 0.5.
+struct IndoorThresholds {
+  double gps_weight = 0.6;
+  double wifi_weight = 0.4;
+  double wifi_norm = 8.0;  ///< AP count treated as "fully indoor"
+};
+
+/// Per-sample indoor decision from full GPS-quality and WiFi-count
+/// windows (sizes must match; throws std::invalid_argument otherwise).
+std::vector<bool> indoor_flags(std::span<const double> gps_quality,
+                               std::span<const double> wifi_count,
+                               const IndoorThresholds& thr = {});
+
+/// Result of evaluating a detection strategy over one day trace.
+struct IndoorEvaluation {
+  double accuracy = 0.0;        ///< fraction of samples correctly flagged
+  double sensing_energy_j = 0.0;
+  std::size_t gps_samples = 0;
+  std::size_t wifi_samples = 0;
+};
+
+/// Runs the detector over one indoor/outdoor day: acquires GPS and WiFi
+/// through the given probes window by window, reconstructs when the
+/// probes are compressive, fuses, and scores against the ground-truth
+/// schedule.  Both probes must share the window length; the schedule
+/// length is truncated to whole windows.
+IndoorEvaluation evaluate_indoor_detector(
+    const std::vector<bool>& truth_schedule, sensing::SensingProbe& gps_probe,
+    sensing::SensingProbe& wifi_probe, const IndoorThresholds& thr = {});
+
+}  // namespace sensedroid::context

@@ -1,0 +1,33 @@
+// L1-norm sparse recovery (eqs. 9-10): basis pursuit via linear
+// programming.
+//
+// The paper introduces slack variables theta with -theta_i <= alpha_i <=
+// theta_i and minimizes sum(theta) (eq. 10).  We solve the classic
+// equivalent standard-form LP obtained by the positive/negative split
+// alpha = u - v, u,v >= 0, min sum(u+v) s.t. A(u-v) = y: at any optimum at
+// most one of u_i, v_i is nonzero, so sum(u_i + v_i) = |alpha_i| = theta_i
+// — exactly the paper's objective, with M equality constraints instead of
+// M + 2K.
+#pragma once
+
+#include <span>
+
+#include "cs/omp.h"
+#include "cs/simplex.h"
+#include "linalg/matrix.h"
+
+namespace sensedroid::cs {
+
+struct BasisPursuitOptions {
+  SimplexOptions lp;            ///< forwarded to the simplex engine
+  double support_tol = 1e-7;    ///< |alpha_i| above this counts as support
+};
+
+/// Solves min ||alpha||_1 s.t. A alpha = y exactly (noise-free BP).
+/// Returns the solution with support extracted; throws
+/// std::invalid_argument on shape mismatch and std::runtime_error when the
+/// LP reports infeasible/unbounded (cannot happen for consistent systems).
+SparseSolution basis_pursuit(const Matrix& a, std::span<const double> y,
+                             const BasisPursuitOptions& opts = {});
+
+}  // namespace sensedroid::cs

@@ -1,0 +1,307 @@
+#include "cs/chs.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "cs/least_squares.h"
+#include "linalg/vector_ops.h"
+
+namespace sensedroid::cs {
+
+using linalg::norm2;
+
+Vector interpolate_to_grid(std::span<const double> values,
+                           std::span<const std::size_t> locations,
+                           std::size_t n, Interpolation kind) {
+  if (values.size() != locations.size()) {
+    throw std::invalid_argument("interpolate_to_grid: size mismatch");
+  }
+  Vector out(n, 0.0);
+  if (values.empty()) return out;
+  const std::size_t m = values.size();
+
+  switch (kind) {
+    case Interpolation::kZeroFill:
+      for (std::size_t i = 0; i < m; ++i) out[locations[i]] = values[i];
+      return out;
+
+    case Interpolation::kNearest: {
+      std::size_t j = 0;  // index of nearest-on-the-left sample
+      for (std::size_t g = 0; g < n; ++g) {
+        while (j + 1 < m && locations[j + 1] <= g) ++j;
+        std::size_t pick = j;
+        if (j + 1 < m) {
+          const std::size_t dl = g >= locations[j] ? g - locations[j]
+                                                   : locations[j] - g;
+          const std::size_t dr = locations[j + 1] - g;
+          if (dr < dl) pick = j + 1;
+        }
+        out[g] = values[pick];
+      }
+      return out;
+    }
+
+    case Interpolation::kLinear: {
+      for (std::size_t g = 0; g < n; ++g) {
+        if (g <= locations.front()) {
+          out[g] = values.front();
+        } else if (g >= locations.back()) {
+          out[g] = values.back();
+        } else {
+          // Find the bracketing pair (locations sorted).
+          const auto it =
+              std::upper_bound(locations.begin(), locations.end(), g);
+          const std::size_t hi = static_cast<std::size_t>(
+              std::distance(locations.begin(), it));
+          const std::size_t lo = hi - 1;
+          const double t = static_cast<double>(g - locations[lo]) /
+                           static_cast<double>(locations[hi] - locations[lo]);
+          out[g] = (1.0 - t) * values[lo] + t * values[hi];
+        }
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("interpolate_to_grid: unknown interpolation");
+}
+
+Vector interpolate_to_grid_2d(std::span<const double> values,
+                              std::span<const std::size_t> locations,
+                              std::size_t n, std::size_t height,
+                              Interpolation kind) {
+  if (values.size() != locations.size()) {
+    throw std::invalid_argument("interpolate_to_grid_2d: size mismatch");
+  }
+  if (height == 0 || n % height != 0) {
+    throw std::invalid_argument(
+        "interpolate_to_grid_2d: height must divide n");
+  }
+  if (kind == Interpolation::kZeroFill || values.empty()) {
+    return interpolate_to_grid(values, locations, n,
+                               Interpolation::kZeroFill);
+  }
+  const std::size_t m = values.size();
+  Vector out(n, 0.0);
+  for (std::size_t g = 0; g < n; ++g) {
+    const double gi = static_cast<double>(g % height);
+    const double gj = static_cast<double>(g / height);
+    if (kind == Interpolation::kNearest) {
+      double best_d2 = 1e300;
+      double best_v = 0.0;
+      for (std::size_t s = 0; s < m; ++s) {
+        const double di = static_cast<double>(locations[s] % height) - gi;
+        const double dj = static_cast<double>(locations[s] / height) - gj;
+        const double d2 = di * di + dj * dj;
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best_v = values[s];
+        }
+      }
+      out[g] = best_v;
+    } else {  // kLinear: inverse-distance blend of the 4 nearest samples
+      constexpr std::size_t kNeighbors = 4;
+      std::array<double, kNeighbors> nd2;
+      std::array<double, kNeighbors> nv;
+      nd2.fill(1e300);
+      nv.fill(0.0);
+      for (std::size_t s = 0; s < m; ++s) {
+        const double di = static_cast<double>(locations[s] % height) - gi;
+        const double dj = static_cast<double>(locations[s] / height) - gj;
+        double d2 = di * di + dj * dj;
+        double v = values[s];
+        // Insertion into the small sorted neighbor set.
+        for (std::size_t r = 0; r < kNeighbors; ++r) {
+          if (d2 < nd2[r]) {
+            std::swap(d2, nd2[r]);
+            std::swap(v, nv[r]);
+          }
+        }
+      }
+      if (nd2[0] <= 1e-12) {
+        out[g] = nv[0];  // exactly on a sample
+      } else {
+        double wsum = 0.0, acc = 0.0;
+        for (std::size_t r = 0; r < kNeighbors && nd2[r] < 1e300; ++r) {
+          const double w = 1.0 / nd2[r];  // inverse squared distance
+          acc += w * nv[r];
+          wsum += w;
+        }
+        out[g] = wsum > 0.0 ? acc / wsum : 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
+                          const ChsOptions& opts) {
+  const std::size_t n = basis.rows();
+  if (basis.cols() != n) {
+    throw std::invalid_argument("chs_reconstruct: basis must be square");
+  }
+  if (meas.plan.signal_size() != n) {
+    throw std::invalid_argument("chs_reconstruct: plan/basis size mismatch");
+  }
+  const std::size_t m = meas.plan.measurement_count();
+  if (meas.values.size() != m) {
+    throw std::invalid_argument("chs_reconstruct: measurement size mismatch");
+  }
+  if (opts.refit == Refit::kGls && meas.noise.size() != m) {
+    throw std::invalid_argument("chs_reconstruct: noise model size mismatch");
+  }
+
+  const std::size_t k_budget = std::min(
+      opts.max_support == 0 ? std::max<std::size_t>(m / 2, 1)
+                            : opts.max_support,
+      m);
+  const auto locations = meas.plan.indices();
+  const Matrix phi_rows = meas.plan.select_rows(basis);  // M x N
+
+  ChsResult res;
+  res.coefficients.assign(n, 0.0);
+  Vector residual = meas.values;  // e_r = x_S initially
+  const double xs_norm = std::max(norm2(meas.values), 1e-300);
+  double prev_res_norm = norm2(residual);
+  std::vector<bool> in_support(n, false);
+  Vector coef_on_support;
+
+  // Warm start: seed the support with the caller's prior (deduplicated,
+  // clipped to the budget) and refit once so the first iteration already
+  // works on the warm residual.
+  if (!opts.initial_support.empty()) {
+    for (std::size_t j : opts.initial_support) {
+      if (j >= n) {
+        throw std::invalid_argument(
+            "chs_reconstruct: initial support index out of range");
+      }
+      if (!in_support[j] && res.support.size() < k_budget) {
+        in_support[j] = true;
+        res.support.push_back(j);
+      }
+    }
+    if (!res.support.empty()) {
+      std::sort(res.support.begin(), res.support.end());
+      const Matrix phi_k = phi_rows.select_cols(res.support);
+      try {
+        coef_on_support =
+            opts.refit == Refit::kGls
+                ? solve_gls_diag(phi_k, meas.values, meas.noise.stddev)
+                : solve_ols(phi_k, meas.values);
+      } catch (const std::runtime_error&) {
+        const double scale = std::max(phi_k.frobenius_norm(), 1e-12);
+        coef_on_support =
+            solve_ridge(phi_k, meas.values, 1e-8 * scale * scale);
+      }
+      residual = linalg::subtract(meas.values, phi_k * coef_on_support);
+      prev_res_norm = norm2(residual);
+    }
+  }
+
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    if (norm2(residual) <= opts.residual_tol * xs_norm) break;
+    if (res.support.size() >= k_budget) break;
+    ++res.iterations;
+
+    // (a) Upsilon: residual onto the full grid (2-D aware when the caller
+    // declared the field geometry).
+    const Vector e_full =
+        opts.grid_height > 0
+            ? interpolate_to_grid_2d(residual, locations, n,
+                                     opts.grid_height, opts.interpolation)
+            : interpolate_to_grid(residual, locations, n,
+                                  opts.interpolation);
+    // (b) analyze in the basis.
+    const Vector alpha_r = basis.transpose_times(e_full);
+
+    // (c) pick significant, not-yet-selected coefficients.
+    double max_mag = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_support[j]) max_mag = std::max(max_mag, std::abs(alpha_r[j]));
+    }
+    if (max_mag == 0.0) break;  // residual orthogonal to every new atom
+
+    std::vector<std::size_t> candidates;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_support[j] &&
+          std::abs(alpha_r[j]) >= opts.significance * max_mag) {
+        candidates.push_back(j);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b) {
+                return std::abs(alpha_r[a]) > std::abs(alpha_r[b]);
+              });
+    const std::size_t room = k_budget - res.support.size();
+    const std::size_t take =
+        std::min({candidates.size(), opts.coeffs_per_iter, room});
+    if (take == 0) break;
+
+    // (d) grow J (tentatively — rolled back if the batch buys nothing).
+    const std::vector<std::size_t> prev_support = res.support;
+    const Vector prev_coeffs = coef_on_support;
+    for (std::size_t i = 0; i < take; ++i) {
+      in_support[candidates[i]] = true;
+      res.support.push_back(candidates[i]);
+    }
+    std::sort(res.support.begin(), res.support.end());
+
+    // (e) refit on the support.  Tiny or unlucky plans can make Phi~_K
+    // numerically rank-deficient; fall back to a lightly regularized fit
+    // instead of aborting the round.
+    const Matrix phi_k = phi_rows.select_cols(res.support);
+    try {
+      coef_on_support =
+          opts.refit == Refit::kGls
+              ? solve_gls_diag(phi_k, meas.values, meas.noise.stddev)
+              : solve_ols(phi_k, meas.values);
+    } catch (const std::runtime_error&) {
+      const double scale = std::max(phi_k.frobenius_norm(), 1e-12);
+      coef_on_support = solve_ridge(phi_k, meas.values, 1e-8 * scale * scale);
+    }
+
+    // (f) new measurement-domain residual.
+    const Vector fitted = phi_k * coef_on_support;
+    residual = linalg::subtract(meas.values, fitted);
+
+    const double res_norm = norm2(residual);
+    if (prev_res_norm - res_norm <
+        opts.min_improvement * std::max(prev_res_norm, 1e-300)) {
+      // The batch no longer reduces the residual meaningfully: undo it and
+      // stop rather than fit sampling noise (Section 4's epsilon_c guard).
+      for (std::size_t i = 0; i < take; ++i) {
+        in_support[candidates[i]] = false;
+      }
+      res.support = prev_support;
+      coef_on_support = prev_coeffs;
+      if (!res.support.empty()) {
+        const Matrix phi_prev = phi_rows.select_cols(res.support);
+        residual = linalg::subtract(meas.values,
+                                    phi_prev * coef_on_support);
+      } else {
+        residual = meas.values;
+      }
+      break;
+    }
+    prev_res_norm = res_norm;
+  }
+
+  for (std::size_t i = 0; i < res.support.size(); ++i) {
+    res.coefficients[res.support[i]] = coef_on_support[i];
+  }
+  res.residual_norm = norm2(residual);
+
+  // Step 4: x_hat = Phi_K alpha_K.
+  res.reconstruction.assign(n, 0.0);
+  for (std::size_t idx = 0; idx < res.support.size(); ++idx) {
+    const std::size_t j = res.support[idx];
+    const double c = coef_on_support[idx];
+    for (std::size_t i = 0; i < n; ++i) {
+      res.reconstruction[i] += basis(i, j) * c;
+    }
+  }
+  return res;
+}
+
+}  // namespace sensedroid::cs

@@ -1,0 +1,101 @@
+#include "cs/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cs/least_squares.h"
+#include "linalg/decomposition.h"
+#include "linalg/vector_ops.h"
+
+namespace sensedroid::cs {
+
+using linalg::norm2;
+using linalg::subtract;
+
+ErrorBreakdown decompose_error(const Matrix& basis, std::span<const double> x,
+                               const MeasurementPlan& plan, double sigma,
+                               std::size_t k) {
+  const std::size_t n = basis.rows();
+  if (basis.cols() != n || x.size() != n || plan.signal_size() != n) {
+    throw std::invalid_argument("decompose_error: dimension mismatch");
+  }
+  const std::size_t m = plan.measurement_count();
+  if (k == 0 || k > m) {
+    throw std::invalid_argument("decompose_error: need 1 <= k <= M");
+  }
+
+  // Best-K support from the exact coefficients.
+  const Vector alpha = basis.transpose_times(x);
+  std::vector<std::size_t> support = linalg::top_k_by_magnitude(alpha, k);
+  std::sort(support.begin(), support.end());
+
+  ErrorBreakdown out;
+
+  // epsilon_a: truncation error.  With an orthonormal basis this is the
+  // L2 norm of the dropped coefficients.
+  {
+    double dropped = 0.0;
+    std::vector<bool> kept(n, false);
+    for (std::size_t j : support) kept[j] = true;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!kept[j]) dropped += alpha[j] * alpha[j];
+    }
+    out.approximation = std::sqrt(dropped);
+  }
+
+  // Sub-sampled basis on the support.
+  const Matrix phi_k = plan.select_rows(basis).select_cols(support);
+  out.kappa = linalg::condition_number(phi_k);
+
+  // epsilon_c: refit from noise-free samples vs. the exact truncation.
+  {
+    const Vector xs = plan.sample_signal(x);
+    Vector alpha_fit;
+    if (std::isfinite(out.kappa)) {
+      alpha_fit = solve_ols(phi_k, xs);
+    } else {
+      // Singular sampling: fall back to pinv so the term stays finite and
+      // large rather than throwing.
+      alpha_fit = linalg::pseudo_inverse(phi_k) * xs;
+    }
+    Vector alpha_true(k);
+    for (std::size_t i = 0; i < k; ++i) alpha_true[i] = alpha[support[i]];
+    // Orthonormal columns of Phi_K make coefficient error == signal error.
+    out.conditioning = norm2(subtract(alpha_fit, alpha_true));
+  }
+
+  // epsilon_m: E||(Phi~_K)^dagger w|| = sigma sqrt(trace((Phi~_K^T
+  // Phi~_K)^{-1})) for iid noise.
+  if (sigma > 0.0) {
+    const Matrix pinv = linalg::pseudo_inverse(phi_k);
+    double trace = 0.0;
+    for (std::size_t i = 0; i < pinv.rows(); ++i) {
+      for (std::size_t j = 0; j < pinv.cols(); ++j) {
+        trace += pinv(i, j) * pinv(i, j);
+      }
+    }
+    out.noise = sigma * std::sqrt(trace);
+  }
+
+  return out;
+}
+
+OptimalK optimal_k(const Matrix& basis, std::span<const double> x,
+                   const MeasurementPlan& plan, double sigma) {
+  const std::size_t m = plan.measurement_count();
+  if (m == 0) {
+    throw std::invalid_argument("optimal_k: plan has no measurements");
+  }
+  OptimalK best;
+  for (std::size_t k = 1; k <= m; ++k) {
+    const ErrorBreakdown b = decompose_error(basis, x, plan, sigma, k);
+    if (best.k == 0 || b.total() < best.breakdown.total()) {
+      best.k = k;
+      best.breakdown = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace sensedroid::cs

@@ -1,0 +1,64 @@
+// Section 4's error decomposition.  Total reconstruction error
+//   epsilon = epsilon_a + epsilon_c + epsilon_m
+// where, for a fixed measurement count M and support size K:
+//   epsilon_a — approximation (truncation) error of the best K-term
+//               representation; decreases in K;
+//   epsilon_c — numerical conditioning error of inverting Phi~_K, which
+//               grows as kappa(Phi~_K) degrades with K -> M;
+//   epsilon_m — measurement-noise error propagated through the
+//               pseudo-inverse.
+// "We should pick an optimal K such that the sum is minimal" — that scan
+// is optimal_k().
+#pragma once
+
+#include <cstddef>
+
+#include "cs/measurement.h"
+#include "linalg/matrix.h"
+
+namespace sensedroid::cs {
+
+/// Error terms for one (signal, plan, K) configuration, all in absolute
+/// L2 units of the signal.
+struct ErrorBreakdown {
+  double approximation = 0.0;  ///< epsilon_a
+  double conditioning = 0.0;   ///< epsilon_c
+  double noise = 0.0;          ///< epsilon_m (expected value)
+  double kappa = 0.0;          ///< kappa(Phi~_K) for diagnostics
+
+  double total() const noexcept {
+    return approximation + conditioning + noise;
+  }
+};
+
+/// Decomposes the expected reconstruction error when the true signal `x`
+/// is approximated on its best-K support in `basis`, measured at `plan`'s
+/// locations with iid noise of standard deviation `sigma`.
+///
+///  - epsilon_a: ||x - Phi_K alpha_K*|| with alpha_K* the exact top-K
+///    coefficients (pure truncation, no sampling involved);
+///  - epsilon_c: extra error of the OLS refit from the M noise-free
+///    samples relative to the truncated signal (ill-conditioning of
+///    Phi~_K);
+///  - epsilon_m: sigma * sqrt(trace((Phi~_K^T Phi~_K)^{-1})) — the
+///    expected coefficient perturbation from noise, which equals the
+///    signal-domain perturbation because Phi_K has orthonormal columns.
+///
+/// Throws std::invalid_argument on dimension mismatch, k == 0, or
+/// k > measurement count.
+ErrorBreakdown decompose_error(const Matrix& basis, std::span<const double> x,
+                               const MeasurementPlan& plan, double sigma,
+                               std::size_t k);
+
+/// Result of scanning K for the minimum total error.
+struct OptimalK {
+  std::size_t k = 0;
+  ErrorBreakdown breakdown;
+};
+
+/// Scans K = 1..plan.measurement_count() and returns the K minimizing the
+/// predicted total error (ties resolved toward smaller K).
+OptimalK optimal_k(const Matrix& basis, std::span<const double> x,
+                   const MeasurementPlan& plan, double sigma);
+
+}  // namespace sensedroid::cs

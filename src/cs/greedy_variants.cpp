@@ -1,0 +1,177 @@
+#include "cs/greedy_variants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cs/least_squares.h"
+#include "linalg/decomposition.h"
+#include "linalg/random.h"
+#include "linalg/vector_ops.h"
+
+namespace sensedroid::cs {
+
+using linalg::norm2;
+using linalg::subtract;
+using linalg::top_k_by_magnitude;
+
+namespace {
+
+// Residual y - A_S c for support S with coefficients c.
+Vector residual_for(const Matrix& a, std::span<const double> y,
+                    const std::vector<std::size_t>& support,
+                    const Vector& coef) {
+  Vector r(y.begin(), y.end());
+  for (std::size_t s = 0; s < support.size(); ++s) {
+    const double c = coef[s];
+    if (c == 0.0) continue;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      r[i] -= a(i, support[s]) * c;
+    }
+  }
+  return r;
+}
+
+Vector least_squares_or_ridge(const Matrix& a_sub,
+                              std::span<const double> y) {
+  try {
+    return solve_ols(a_sub, y);
+  } catch (const std::runtime_error&) {
+    const double scale = std::max(a_sub.frobenius_norm(), 1e-12);
+    return solve_ridge(a_sub, y, 1e-8 * scale * scale);
+  }
+}
+
+}  // namespace
+
+SparseSolution cosamp_solve(const Matrix& a, std::span<const double> y,
+                            const CosampOptions& opts) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m == 0 || n == 0 || y.size() != m) {
+    throw std::invalid_argument("cosamp_solve: shape mismatch");
+  }
+  if (opts.sparsity == 0) {
+    throw std::invalid_argument("cosamp_solve: sparsity must be positive");
+  }
+  const std::size_t k = std::min(opts.sparsity, std::min(m / 2, n));
+
+  SparseSolution sol;
+  sol.coefficients.assign(n, 0.0);
+  std::vector<std::size_t> support;  // current S, sorted
+  Vector coef;
+  Vector r(y.begin(), y.end());
+  const double y_norm = std::max(norm2(y), 1e-300);
+  double best_res = norm2(r);
+  std::vector<std::size_t> best_support;
+  Vector best_coef;
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (norm2(r) <= opts.residual_tol * y_norm) break;
+    ++sol.iterations;
+
+    // Identify 2K largest correlations and merge with current support.
+    const Vector proxy = a.transpose_times(r);
+    auto candidates = top_k_by_magnitude(proxy, 2 * k);
+    candidates.insert(candidates.end(), support.begin(), support.end());
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    // Least squares on the merged set cannot exceed M columns.
+    if (candidates.size() > m) candidates.resize(m);
+
+    const Matrix a_merged = a.select_cols(candidates);
+    const Vector c_merged = least_squares_or_ridge(a_merged, y);
+
+    // Prune back to the K strongest.
+    const auto keep = top_k_by_magnitude(c_merged, k);
+    std::vector<std::size_t> new_support(keep.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+      new_support[i] = candidates[keep[i]];
+    }
+    std::sort(new_support.begin(), new_support.end());
+    const Matrix a_sub = a.select_cols(new_support);
+    const Vector c_sub = least_squares_or_ridge(a_sub, y);
+
+    support = std::move(new_support);
+    coef = c_sub;
+    r = residual_for(a, y, support, coef);
+
+    const double res = norm2(r);
+    if (res < best_res) {
+      best_res = res;
+      best_support = support;
+      best_coef = coef;
+    } else if (res > best_res * (1.0 + 1e-9) && it > 0) {
+      break;  // stalled / oscillating: keep the best iterate
+    }
+  }
+
+  if (!best_support.empty()) {
+    support = best_support;
+    coef = best_coef;
+  }
+  sol.support = support;
+  for (std::size_t s = 0; s < support.size(); ++s) {
+    sol.coefficients[support[s]] = coef[s];
+  }
+  sol.residual_norm = best_res;
+  return sol;
+}
+
+SparseSolution iht_solve(const Matrix& a, std::span<const double> y,
+                         const IhtOptions& opts) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m == 0 || n == 0 || y.size() != m) {
+    throw std::invalid_argument("iht_solve: shape mismatch");
+  }
+  if (opts.sparsity == 0) {
+    throw std::invalid_argument("iht_solve: sparsity must be positive");
+  }
+  const std::size_t k = std::min(opts.sparsity, n);
+
+  SparseSolution sol;
+  Vector x(n, 0.0);
+  const double y_norm = std::max(norm2(y), 1e-300);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    const Vector ax = a * x;
+    const Vector r = subtract(y, ax);
+    if (norm2(r) <= opts.residual_tol * y_norm) break;
+    ++sol.iterations;
+    const Vector grad = a.transpose_times(r);
+
+    double mu = opts.step;
+    if (mu <= 0.0) {
+      // Normalized IHT (Blumensath & Davies): the exact line-search step
+      // for the gradient restricted to the working support — converges in
+      // tens of iterations where a global-Lipschitz step crawls.
+      std::vector<std::size_t> working;
+      if (linalg::norm0(x) > 0) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (x[j] != 0.0) working.push_back(j);
+        }
+      } else {
+        working = top_k_by_magnitude(grad, k);
+      }
+      Vector g_s(n, 0.0);
+      for (std::size_t j : working) g_s[j] = grad[j];
+      const double num = linalg::dot(g_s, g_s);
+      const Vector ag = a * g_s;
+      const double den = linalg::dot(ag, ag);
+      mu = den > 1e-300 ? num / den : 1.0;
+    }
+
+    for (std::size_t j = 0; j < n; ++j) x[j] += mu * grad[j];
+    x = linalg::hard_threshold(x, k);
+  }
+
+  sol.coefficients = x;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (x[j] != 0.0) sol.support.push_back(j);
+  }
+  sol.residual_norm = norm2(subtract(y, a * x));
+  return sol;
+}
+
+}  // namespace sensedroid::cs

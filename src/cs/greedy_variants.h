@@ -1,0 +1,41 @@
+// Alternative greedy sparse solvers for eq. 13, complementing OMP:
+//   - CoSaMP (Needell & Tropp): batched support selection (2K candidates
+//     per iteration) with pruning back to K — more robust to noise than
+//     one-atom-at-a-time OMP;
+//   - IHT (Blumensath & Davies): iterative hard thresholding, a gradient
+//     method x <- H_K(x + mu A^T (y - A x)) — cheapest per iteration.
+// Used by the solver-ablation experiment (E17) to justify the default.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "cs/omp.h"
+
+namespace sensedroid::cs {
+
+struct CosampOptions {
+  std::size_t sparsity = 1;         ///< target K (required, >= 1)
+  std::size_t max_iterations = 50;
+  double residual_tol = 1e-9;       ///< stop at ||r|| <= tol * ||y||
+};
+
+/// CoSaMP solve of min ||y - A alpha|| s.t. ||alpha||_0 <= K.
+/// Throws std::invalid_argument on shape errors or K == 0.
+SparseSolution cosamp_solve(const Matrix& a, std::span<const double> y,
+                            const CosampOptions& opts);
+
+struct IhtOptions {
+  std::size_t sparsity = 1;          ///< target K (required, >= 1)
+  std::size_t max_iterations = 300;
+  double residual_tol = 1e-9;
+  /// Step size mu; 0 = automatic (1 / ||A||_2^2 estimated by power
+  /// iteration), the guaranteed-stable choice.
+  double step = 0.0;
+};
+
+/// Iterative hard thresholding solve of the same problem.
+SparseSolution iht_solve(const Matrix& a, std::span<const double> y,
+                         const IhtOptions& opts);
+
+}  // namespace sensedroid::cs

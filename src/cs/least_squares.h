@@ -1,0 +1,39 @@
+// Overdetermined coefficient solvers of Section 4:
+//   eq. 11 — ordinary least squares for homogeneous sensors,
+//   eq. 12 — generalized least squares weighting by the inverse sensor
+//            covariance V for heterogeneous phone populations.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.h"
+
+namespace sensedroid::cs {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// OLS estimate alpha = (A^T A)^{-1} A^T y, computed via Householder QR
+/// for numerical stability (the paper's eq. 11 with A = Phi~_K).
+/// Requires rows >= cols; throws std::invalid_argument otherwise and
+/// std::runtime_error on numerical rank deficiency.
+Vector solve_ols(const Matrix& a, std::span<const double> y);
+
+/// GLS estimate alpha = (A^T V^{-1} A)^{-1} A^T V^{-1} y (eq. 12).
+/// Implemented by whitening: V = L L^T, solve the OLS problem on
+/// (L^{-1} A, L^{-1} y).  V must be SPD with V.rows() == a.rows().
+Vector solve_gls(const Matrix& a, std::span<const double> y, const Matrix& v);
+
+/// GLS with a diagonal covariance given as per-measurement stddevs — the
+/// common case for phone fleets; avoids the dense Cholesky.
+/// Zero stddevs are clamped to the smallest positive stddev (exact sensors
+/// get the highest finite weight) to keep the weighting well-defined.
+Vector solve_gls_diag(const Matrix& a, std::span<const double> y,
+                      std::span<const double> stddev);
+
+/// Ridge-regularized least squares (A^T A + lambda I)^{-1} A^T y; the
+/// fallback brokers use when Phi~_K is too ill-conditioned for plain OLS
+/// (the epsilon_c regime of the error model).  lambda must be >= 0.
+Vector solve_ridge(const Matrix& a, std::span<const double> y, double lambda);
+
+}  // namespace sensedroid::cs

@@ -1,0 +1,118 @@
+#include "cs/omp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cs/least_squares.h"
+#include "linalg/vector_ops.h"
+
+namespace sensedroid::cs {
+
+using linalg::norm2;
+
+SparseSolution omp_solve(const Matrix& a, std::span<const double> y,
+                         const OmpOptions& opts) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("omp_solve: empty matrix");
+  }
+  if (y.size() != m) {
+    throw std::invalid_argument("omp_solve: y size mismatch");
+  }
+  const std::size_t k_max =
+      opts.max_sparsity == 0 ? std::min(m, n)
+                             : std::min({opts.max_sparsity, m, n});
+
+  // Precompute column norms so correlation is scale-invariant even if a
+  // caller passes a non-normalized dictionary.
+  Vector col_norm(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < n; ++j) col_norm[j] += row[j] * row[j];
+  }
+  for (double& c : col_norm) c = std::sqrt(c);
+
+  SparseSolution sol;
+  sol.coefficients.assign(n, 0.0);
+  Vector residual(y.begin(), y.end());
+  const double y_norm = norm2(y);
+  double prev_res = y_norm;
+  std::vector<bool> picked(n, false);
+  Vector coef_on_support;
+
+  while (sol.support.size() < k_max) {
+    if (norm2(residual) <= opts.residual_tol * std::max(y_norm, 1e-300)) {
+      break;
+    }
+    // Greedy step: column with the largest normalized correlation.
+    const Vector corr = a.transpose_times(residual);
+    std::size_t best = n;
+    double best_val = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (picked[j] || col_norm[j] == 0.0) continue;
+      const double v = std::abs(corr[j]) / col_norm[j];
+      if (v > best_val) {
+        best_val = v;
+        best = j;
+      }
+    }
+    if (best == n || best_val == 0.0) break;  // nothing left correlates
+
+    picked[best] = true;
+    sol.support.push_back(best);
+    ++sol.iterations;
+
+    // Refit all selected coefficients jointly (the "orthogonal" step).
+    const Matrix a_sub = a.select_cols(sol.support);
+    coef_on_support = solve_ols(a_sub, y);
+
+    residual.assign(y.begin(), y.end());
+    const Vector fitted = a_sub * coef_on_support;
+    for (std::size_t i = 0; i < m; ++i) residual[i] -= fitted[i];
+
+    const double res = norm2(residual);
+    if (opts.min_improvement > 0.0 &&
+        prev_res - res < opts.min_improvement * std::max(y_norm, 1e-300)) {
+      // The atom bought almost nothing: undo it and stop.
+      picked[best] = false;
+      sol.support.pop_back();
+      --sol.iterations;
+      if (!sol.support.empty()) {
+        const Matrix a_prev = a.select_cols(sol.support);
+        coef_on_support = solve_ols(a_prev, y);
+        residual.assign(y.begin(), y.end());
+        const Vector f = a_prev * coef_on_support;
+        for (std::size_t i = 0; i < m; ++i) residual[i] -= f[i];
+      } else {
+        coef_on_support.clear();
+        residual.assign(y.begin(), y.end());
+      }
+      break;
+    }
+    prev_res = res;
+  }
+
+  for (std::size_t i = 0; i < sol.support.size(); ++i) {
+    sol.coefficients[sol.support[i]] = coef_on_support[i];
+  }
+  sol.residual_norm = norm2(residual);
+  return sol;
+}
+
+Vector reconstruct(const Matrix& basis, const SparseSolution& sol) {
+  if (basis.cols() != sol.coefficients.size()) {
+    throw std::invalid_argument("reconstruct: basis/coefficient mismatch");
+  }
+  // Exploit sparsity: synthesize from the support only.
+  Vector x(basis.rows(), 0.0);
+  for (std::size_t j : sol.support) {
+    const double c = sol.coefficients[j];
+    if (c == 0.0) continue;
+    for (std::size_t i = 0; i < basis.rows(); ++i) x[i] += basis(i, j) * c;
+  }
+  return x;
+}
+
+}  // namespace sensedroid::cs

@@ -1,0 +1,202 @@
+#include "cs/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace sensedroid::cs {
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Dense tableau: rows 0..m-1 are constraints, row m is the (reduced) cost
+// row.  Column layout: structural+artificial variables, last column = RHS.
+class Tableau {
+ public:
+  Tableau(std::size_t m, std::size_t n_total)
+      : m_(m), n_(n_total), t_((m + 1) * (n_total + 1), 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return t_[r * (n_ + 1) + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return t_[r * (n_ + 1) + c];
+  }
+  double& rhs(std::size_t r) { return at(r, n_); }
+  double rhs(std::size_t r) const { return at(r, n_); }
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double p = at(pr, pc);
+    const double inv = 1.0 / p;
+    for (std::size_t c = 0; c <= n_; ++c) at(pr, c) *= inv;
+    at(pr, pc) = 1.0;
+    for (std::size_t r = 0; r <= m_; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c <= n_; ++c) at(r, c) -= f * at(pr, c);
+      at(r, pc) = 0.0;
+    }
+  }
+
+ private:
+  std::size_t m_, n_;
+  std::vector<double> t_;
+};
+
+// Runs simplex iterations until optimal/unbounded/limit.  `allowed` marks
+// columns eligible to enter the basis (used in phase 2 to freeze
+// artificials out).  Uses Bland's rule: smallest-index entering column
+// with negative reduced cost, smallest-index tie-break on the ratio test.
+LpStatus iterate(Tableau& t, std::vector<std::size_t>& basis,
+                 const std::vector<bool>& allowed, double tol,
+                 std::size_t max_iters, std::size_t& iter_count) {
+  const std::size_t m = t.rows();
+  const std::size_t n = t.cols();
+  for (; iter_count < max_iters; ++iter_count) {
+    // Entering column: Bland — first allowed column with cost < -tol.
+    std::size_t enter = n;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (allowed[c] && t.at(m, c) < -tol) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == n) return LpStatus::kOptimal;
+
+    // Ratio test: min rhs/col over positive column entries; Bland
+    // tie-break by basis variable index.
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double a = t.at(r, enter);
+      if (a > tol) {
+        const double ratio = t.rhs(r) / a;
+        if (ratio < best_ratio - tol ||
+            (std::abs(ratio - best_ratio) <= tol && leave < m &&
+             basis[r] < basis[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) return LpStatus::kUnbounded;
+
+    t.pivot(leave, enter);
+    basis[leave] = enter;
+  }
+  return LpStatus::kIterationLimit;
+}
+
+}  // namespace
+
+LpSolution simplex_solve(const LpProblem& problem,
+                         const SimplexOptions& opts) {
+  const std::size_t m = problem.a.rows();
+  const std::size_t n = problem.a.cols();
+  if (problem.b.size() != m) {
+    throw std::invalid_argument("simplex_solve: b size mismatch");
+  }
+  if (problem.c.size() != n) {
+    throw std::invalid_argument("simplex_solve: c size mismatch");
+  }
+
+  const double tol = opts.tol;
+  const std::size_t max_iters =
+      opts.max_iterations != 0 ? opts.max_iterations
+                               : 200 + 40 * (m + n);
+
+  // Total columns: n structural + m artificial.
+  Tableau t(m, n + m);
+  std::vector<std::size_t> basis(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double sign = problem.b[r] < 0.0 ? -1.0 : 1.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      t.at(r, c) = sign * problem.a(r, c);
+    }
+    t.at(r, n + r) = 1.0;  // artificial
+    t.rhs(r) = sign * problem.b[r];
+    basis[r] = n + r;
+  }
+
+  LpSolution sol;
+
+  // ---- Phase 1: minimize sum of artificials. ----
+  // Cost row = -(sum of constraint rows) expresses the phase-1 reduced
+  // costs with the artificial basis already priced out.
+  for (std::size_t c = 0; c <= n + m; ++c) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) s += t.at(r, c);
+    t.at(m, c) = -s;
+  }
+  for (std::size_t r = 0; r < m; ++r) t.at(m, n + r) = 0.0;
+
+  std::vector<bool> allow_all(n + m, true);
+  sol.status = iterate(t, basis, allow_all, tol, max_iters, sol.iterations);
+  if (sol.status == LpStatus::kIterationLimit) return sol;
+  // Feasible iff the artificial sum reached ~0 (objective row RHS is
+  // -(sum of artificials)).
+  if (std::abs(t.rhs(m)) > 1e-6) {
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
+
+  // Drive any artificial still in the basis out (degenerate but possible).
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) continue;
+    std::size_t enter = n;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (std::abs(t.at(r, c)) > tol) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter < n) {
+      t.pivot(r, enter);
+      basis[r] = enter;
+    }
+    // If the whole row is zero the constraint was redundant; the
+    // artificial stays basic at value 0, which is harmless.
+  }
+
+  // ---- Phase 2: original objective, artificials frozen. ----
+  std::vector<bool> allow(n + m, false);
+  for (std::size_t c = 0; c < n; ++c) allow[c] = true;
+  for (std::size_t c = 0; c <= n + m; ++c) t.at(m, c) = 0.0;
+  for (std::size_t c = 0; c < n; ++c) t.at(m, c) = problem.c[c];
+  // Price out the current basis.
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] >= n) continue;
+    const double cb = problem.c[basis[r]];
+    if (cb == 0.0) continue;
+    for (std::size_t c = 0; c <= n + m; ++c) {
+      t.at(m, c) -= cb * t.at(r, c);
+    }
+  }
+
+  sol.status = iterate(t, basis, allow, tol, max_iters, sol.iterations);
+  if (sol.status != LpStatus::kOptimal) return sol;
+
+  sol.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) sol.x[basis[r]] = t.rhs(r);
+  }
+  sol.objective = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    sol.objective += problem.c[c] * sol.x[c];
+  }
+  return sol;
+}
+
+}  // namespace sensedroid::cs

@@ -1,0 +1,57 @@
+// Two-phase primal simplex solver for standard-form linear programs:
+//
+//     minimize    c^T x
+//     subject to  A x = b,  x >= 0.
+//
+// Written from scratch because the paper's L1 reconstruction (eqs. 9-10)
+// "can be re-formulated as a Linear Programming problem and solved
+// efficiently"; this is that LP engine.  Dense tableau with Bland's
+// anti-cycling rule — problem sizes in a NanoCloud (M tens, N hundreds)
+// keep the tableau small.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace sensedroid::cs {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// A standard-form LP.  b may have any sign (rows are normalized
+/// internally); x is implicitly constrained non-negative.
+struct LpProblem {
+  Matrix a;  ///< constraint matrix, M x N
+  Vector b;  ///< right-hand side, length M
+  Vector c;  ///< cost vector, length N
+};
+
+enum class LpStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+/// Human-readable status name.
+const char* to_string(LpStatus status);
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  Vector x;                 ///< primal solution (valid when optimal)
+  double objective = 0.0;   ///< c^T x at the solution
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 0;  ///< 0 = auto (scales with problem size)
+  double tol = 1e-9;               ///< pivot / feasibility tolerance
+};
+
+/// Solves the LP.  Throws std::invalid_argument on shape mismatches.
+LpSolution simplex_solve(const LpProblem& problem,
+                         const SimplexOptions& opts = {});
+
+}  // namespace sensedroid::cs

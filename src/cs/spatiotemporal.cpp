@@ -1,0 +1,48 @@
+#include "cs/spatiotemporal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace sensedroid::cs {
+
+SequentialReconstructor::SequentialReconstructor(Params params)
+    : params_(std::move(params)) {}
+
+ChsResult SequentialReconstructor::step(const Matrix& basis,
+                                        const Measurement& meas) {
+  ChsOptions opts = params_.chs;
+  opts.initial_support = carried_;
+  ChsResult res = chs_reconstruct(basis, meas, opts);
+  ++frames_;
+
+  // Decide what to carry into the next frame: the significant fraction
+  // of this frame's solution.
+  double max_mag = 0.0;
+  for (std::size_t j : res.support) {
+    max_mag = std::max(max_mag, std::abs(res.coefficients[j]));
+  }
+  carried_.clear();
+  if (max_mag > 0.0) {
+    // Strongest first so a carry cap keeps the best atoms.
+    std::vector<std::size_t> by_strength = res.support;
+    std::sort(by_strength.begin(), by_strength.end(),
+              [&](std::size_t a, std::size_t b) {
+                return std::abs(res.coefficients[a]) >
+                       std::abs(res.coefficients[b]);
+              });
+    for (std::size_t j : by_strength) {
+      if (std::abs(res.coefficients[j]) <
+          params_.carry_significance * max_mag) {
+        break;
+      }
+      carried_.push_back(j);
+      if (params_.max_carry != 0 && carried_.size() >= params_.max_carry) {
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace sensedroid::cs

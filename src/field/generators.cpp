@@ -1,0 +1,161 @@
+#include "field/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/basis.h"
+
+namespace sensedroid::field {
+
+SpatialField gaussian_plume_field(std::size_t width, std::size_t height,
+                                  std::span<const GaussianSource> sources,
+                                  double ambient) {
+  SpatialField f(width, height, ambient);
+  for (const auto& s : sources) {
+    const double inv2s2 = 1.0 / (2.0 * s.sigma * s.sigma);
+    for (std::size_t j = 0; j < width; ++j) {
+      for (std::size_t i = 0; i < height; ++i) {
+        const double di = static_cast<double>(i) - s.ci;
+        const double dj = static_cast<double>(j) - s.cj;
+        f(i, j) += s.amplitude * std::exp(-(di * di + dj * dj) * inv2s2);
+      }
+    }
+  }
+  return f;
+}
+
+SpatialField random_plume_field(std::size_t width, std::size_t height,
+                                std::size_t n_sources, Rng& rng,
+                                double ambient) {
+  std::vector<GaussianSource> sources(n_sources);
+  const double w = static_cast<double>(width);
+  const double h = static_cast<double>(height);
+  for (auto& s : sources) {
+    s.ci = rng.uniform(0.0, h);
+    s.cj = rng.uniform(0.0, w);
+    s.sigma = rng.uniform(w / 10.0, w / 4.0);
+    s.amplitude = rng.uniform(0.5, 2.0);
+  }
+  return gaussian_plume_field(width, height, sources, ambient);
+}
+
+SpatialField fire_front_field(std::size_t width, std::size_t height,
+                              std::span<const FireRegion> regions,
+                              double ambient, double rim) {
+  SpatialField f(width, height, ambient);
+  for (const auto& r : regions) {
+    for (std::size_t j = 0; j < width; ++j) {
+      for (std::size_t i = 0; i < height; ++i) {
+        const double di = (static_cast<double>(i) - r.ci) / r.radius_i;
+        const double dj = (static_cast<double>(j) - r.cj) / r.radius_j;
+        const double d = std::sqrt(di * di + dj * dj);
+        double contribution = 0.0;
+        if (d <= 1.0) {
+          contribution = r.intensity;
+        } else if (rim > 0.0) {
+          // Distance past the ellipse boundary in (approximate) cells.
+          const double past =
+              (d - 1.0) * std::min(r.radius_i, r.radius_j);
+          if (past < rim) contribution = r.intensity * (1.0 - past / rim);
+        }
+        f(i, j) = std::max(f(i, j), ambient + contribution);
+      }
+    }
+  }
+  return f;
+}
+
+SpatialField urban_temperature_field(std::size_t width, std::size_t height,
+                                     Rng& rng, std::size_t n_hotspots) {
+  SpatialField f(width, height);
+  const double w = static_cast<double>(width);
+  const double h = static_cast<double>(height);
+  // Heat-island gradient peaking at a random downtown location.
+  const double di0 = rng.uniform(0.3 * h, 0.7 * h);
+  const double dj0 = rng.uniform(0.3 * w, 0.7 * w);
+  const double diag = std::sqrt(w * w + h * h);
+  for (std::size_t j = 0; j < width; ++j) {
+    for (std::size_t i = 0; i < height; ++i) {
+      const double d = std::hypot(static_cast<double>(i) - di0,
+                                  static_cast<double>(j) - dj0);
+      f(i, j) = 24.0 + 6.0 * (1.0 - d / diag);
+    }
+  }
+  // Localized hotspots (industrial blocks, parking lots).
+  std::vector<GaussianSource> spots(n_hotspots);
+  for (auto& s : spots) {
+    s.ci = rng.uniform(0.0, h);
+    s.cj = rng.uniform(0.0, w);
+    s.sigma = rng.uniform(w / 16.0, w / 8.0);
+    s.amplitude = rng.uniform(1.0, 3.0);
+  }
+  auto bumps = gaussian_plume_field(width, height, spots, 0.0);
+  f += bumps;
+  return f;
+}
+
+SpatialField sparse_dct_field(std::size_t width, std::size_t height,
+                              std::size_t k, Rng& rng,
+                              double low_fraction) {
+  const std::size_t n = width * height;
+  auto basis = linalg::dct_basis(n);
+  linalg::Vector alpha(n, 0.0);
+  const std::size_t pool = std::max<std::size_t>(
+      1, static_cast<std::size_t>(low_fraction * static_cast<double>(n)));
+  for (std::size_t j : rng.sample_without_replacement(std::min(pool, n),
+                                                      std::min(k, pool))) {
+    alpha[j] = rng.uniform(1.0, 3.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+  }
+  const auto x = linalg::synthesize(basis, alpha);
+  return SpatialField::from_vector(width, height, x);
+}
+
+SpatialField quadrant_contrast_field(std::size_t width, std::size_t height,
+                                     Rng& rng) {
+  SpatialField f(width, height);
+  const std::size_t hw = width / 2;
+  const std::size_t hh = height / 2;
+  // Quadrant 1 (top-left): flat.
+  for (std::size_t j = 0; j < hw; ++j) {
+    for (std::size_t i = 0; i < hh; ++i) f(i, j) = 1.0;
+  }
+  // Quadrant 2 (top-right): single smooth bump.
+  {
+    GaussianSource s{static_cast<double>(hh) / 2.0,
+                     static_cast<double>(hw) + static_cast<double>(hw) / 2.0,
+                     static_cast<double>(hw) / 4.0, 2.0};
+    auto bump = gaussian_plume_field(width, height, {&s, 1}, 0.0);
+    for (std::size_t j = hw; j < width; ++j) {
+      for (std::size_t i = 0; i < hh; ++i) f(i, j) = 1.0 + bump(i, j);
+    }
+  }
+  // Quadrant 3 (bottom-left): busy — several small bumps.
+  {
+    std::vector<GaussianSource> spots(6);
+    for (auto& s : spots) {
+      s.ci = rng.uniform(static_cast<double>(hh), static_cast<double>(height));
+      s.cj = rng.uniform(0.0, static_cast<double>(hw));
+      s.sigma = rng.uniform(static_cast<double>(width) / 24.0,
+                            static_cast<double>(width) / 12.0);
+      s.amplitude = rng.uniform(0.8, 2.0);
+    }
+    auto busy = gaussian_plume_field(width, height, spots, 0.0);
+    for (std::size_t j = 0; j < hw; ++j) {
+      for (std::size_t i = hh; i < height; ++i) f(i, j) = 1.0 + busy(i, j);
+    }
+  }
+  // Quadrant 4 (bottom-right): sharp diagonal front.
+  for (std::size_t j = hw; j < width; ++j) {
+    for (std::size_t i = hh; i < height; ++i) {
+      f(i, j) = (i - hh) + (j - hw) < (height - hh) ? 4.0 : 0.5;
+    }
+  }
+  return f;
+}
+
+void add_noise(SpatialField& f, double sigma, Rng& rng) {
+  if (sigma <= 0.0) return;
+  for (double& x : f.flat()) x += rng.gaussian(0.0, sigma);
+}
+
+}  // namespace sensedroid::field

@@ -1,0 +1,77 @@
+// Synthetic field generators — the stand-ins for the physical phenomena
+// the paper's scenarios sense (DESIGN.md substitution table).  Each
+// produces fields with the sparsity structure its scenario exhibits:
+// smooth diffuse plumes (temperature/pollutant), sharp fire fronts
+// (piecewise constant, Haar-sparse), urban gradients, and exactly-sparse
+// fields for controlled CS experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "field/spatial_field.h"
+#include "linalg/random.h"
+
+namespace sensedroid::field {
+
+using linalg::Rng;
+
+/// One Gaussian source: a bump of `amplitude` centered at (ci, cj) with
+/// spatial scale `sigma` (grid units).
+struct GaussianSource {
+  double ci = 0.0;
+  double cj = 0.0;
+  double sigma = 1.0;
+  double amplitude = 1.0;
+};
+
+/// Superposition of Gaussian sources on a `width` x `height` grid plus a
+/// constant `ambient` level — diffuse plumes (heat, pollutants).
+SpatialField gaussian_plume_field(std::size_t width, std::size_t height,
+                                  std::span<const GaussianSource> sources,
+                                  double ambient = 0.0);
+
+/// Random smooth field: `n_sources` bumps with amplitude in [0.5, 2],
+/// sigma in [width/10, width/4], placed uniformly.  Deterministic in rng.
+SpatialField random_plume_field(std::size_t width, std::size_t height,
+                                std::size_t n_sources, Rng& rng,
+                                double ambient = 0.0);
+
+/// Fire-front field: `burning` ellipse regions at `intensity` over a cool
+/// ambient, with a smooth decay rim of `rim` cells.  Piecewise-constant
+/// structure (Haar-sparse) with a small smooth transition.
+struct FireRegion {
+  double ci = 0.0;       ///< center row
+  double cj = 0.0;       ///< center column
+  double radius_i = 1.0; ///< vertical semi-axis
+  double radius_j = 1.0; ///< horizontal semi-axis
+  double intensity = 1.0;
+};
+SpatialField fire_front_field(std::size_t width, std::size_t height,
+                              std::span<const FireRegion> regions,
+                              double ambient = 20.0, double rim = 2.0);
+
+/// Urban temperature: large-scale gradient (heat island) + per-block
+/// variation + `n_hotspots` localized sources.
+SpatialField urban_temperature_field(std::size_t width, std::size_t height,
+                                     Rng& rng, std::size_t n_hotspots = 4);
+
+/// Field that is exactly k-sparse in the 2-D DCT basis of its
+/// vectorization, amplitudes in [1, 3] with random signs, support limited
+/// to the lowest `low_fraction` of coefficients (smooth-physical default).
+SpatialField sparse_dct_field(std::size_t width, std::size_t height,
+                              std::size_t k, Rng& rng,
+                              double low_fraction = 0.25);
+
+/// Spatially inhomogeneous field for the local-vs-global experiment (E2):
+/// quadrants with very different detail levels — one flat, one smooth,
+/// one busy, one with a sharp front — so a single global sparsity level
+/// fits none of them well.
+SpatialField quadrant_contrast_field(std::size_t width, std::size_t height,
+                                     Rng& rng);
+
+/// Additive iid Gaussian sensor-floor noise over a whole field.
+void add_noise(SpatialField& f, double sigma, Rng& rng);
+
+}  // namespace sensedroid::field

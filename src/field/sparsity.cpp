@@ -1,0 +1,103 @@
+#include "field/sparsity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sensedroid::field {
+
+std::size_t field_sparsity(const SpatialField& f, linalg::BasisKind kind,
+                           double tol) {
+  const auto basis = linalg::make_basis(kind, f.size());
+  return linalg::effective_sparsity(basis, f.flat(), tol);
+}
+
+std::vector<std::size_t> zone_sparsities(const SpatialField& f,
+                                         const ZoneGrid& grid,
+                                         linalg::BasisKind kind, double tol) {
+  std::vector<std::size_t> out(grid.zone_count());
+  for (std::size_t id = 0; id < grid.zone_count(); ++id) {
+    out[id] = field_sparsity(grid.extract(f, id), kind, tol);
+  }
+  return out;
+}
+
+std::size_t sparsity_from_traces(const TraceSet& traces,
+                                 linalg::BasisKind kind, double tol) {
+  if (traces.empty()) {
+    throw std::logic_error("sparsity_from_traces: no traces");
+  }
+  const auto basis = linalg::make_basis(kind, traces.field_size());
+  std::size_t worst = 0;
+  for (std::size_t t = 0; t < traces.count(); ++t) {
+    worst = std::max(
+        worst, linalg::effective_sparsity(basis, traces.at(t).flat(), tol));
+  }
+  return worst;
+}
+
+std::size_t measurements_for_sparsity(std::size_t k, std::size_t n,
+                                      double c) {
+  if (n == 0) return 0;
+  const double keff = static_cast<double>(std::max<std::size_t>(k, 1));
+  const double logn = std::log(static_cast<double>(std::max<std::size_t>(n, 2)));
+  const auto m = static_cast<std::size_t>(std::ceil(c * keff * logn));
+  return std::clamp(m, std::min(k + 1, n), n);
+}
+
+std::vector<ZoneBudget> allocate_budget(
+    const std::vector<std::size_t>& zone_sparsity,
+    const std::vector<std::size_t>& zone_sizes, std::size_t total_budget,
+    std::size_t min_per_zone) {
+  if (zone_sparsity.size() != zone_sizes.size()) {
+    throw std::invalid_argument("allocate_budget: size mismatch");
+  }
+  const std::size_t z = zone_sizes.size();
+  std::vector<ZoneBudget> out(z);
+  // Demand weight per zone: K_z * log(N_z).
+  std::vector<double> weight(z);
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < z; ++i) {
+    const double k = static_cast<double>(std::max<std::size_t>(
+        zone_sparsity[i], 1));
+    weight[i] = k * std::log(static_cast<double>(
+                        std::max<std::size_t>(zone_sizes[i], 2)));
+    total_weight += weight[i];
+  }
+  for (std::size_t i = 0; i < z; ++i) {
+    const double share =
+        total_weight > 0.0
+            ? static_cast<double>(total_budget) * weight[i] / total_weight
+            : 0.0;
+    std::size_t m = static_cast<std::size_t>(std::llround(share));
+    m = std::max(m, std::min(min_per_zone, zone_sizes[i]));
+    m = std::min(m, zone_sizes[i]);
+    out[i] = ZoneBudget{i, m};
+  }
+  return out;
+}
+
+std::vector<ZoneBudget> allocate_uniform(
+    const std::vector<std::size_t>& zone_sizes, std::size_t total_budget,
+    std::size_t min_per_zone) {
+  const std::size_t z = zone_sizes.size();
+  std::vector<ZoneBudget> out(z);
+  const std::size_t total_cells =
+      std::accumulate(zone_sizes.begin(), zone_sizes.end(), std::size_t{0});
+  for (std::size_t i = 0; i < z; ++i) {
+    const double share =
+        total_cells > 0
+            ? static_cast<double>(total_budget) *
+                  static_cast<double>(zone_sizes[i]) /
+                  static_cast<double>(total_cells)
+            : 0.0;
+    std::size_t m = static_cast<std::size_t>(std::llround(share));
+    m = std::max(m, std::min(min_per_zone, zone_sizes[i]));
+    m = std::min(m, zone_sizes[i]);
+    out[i] = ZoneBudget{i, m};
+  }
+  return out;
+}
+
+}  // namespace sensedroid::field

@@ -1,0 +1,66 @@
+// Local sparsity estimation and measurement budgeting (Section 3).
+//
+// "The number of random observations from any region should correspond to
+// the local spatio-temporal sparsity as well as the NC size instead of the
+// global sparsity."  These routines compute per-zone effective sparsity
+// (from the live field or from prior traces) and turn it into per-zone
+// measurement budgets M_z ~ O(K_z log N_z) — the hierarchy's core lever
+// over Luo-style global schemes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/spatial_field.h"
+#include "field/traces.h"
+#include "field/zones.h"
+#include "linalg/basis.h"
+
+namespace sensedroid::field {
+
+/// Effective sparsity of one field in a basis kind: the smallest K whose
+/// best-K approximation reaches relative error <= tol.  (Builds the basis
+/// internally; PCA is not supported here — use sparsity_from_traces.)
+std::size_t field_sparsity(const SpatialField& f, linalg::BasisKind kind,
+                           double tol = 0.05);
+
+/// Per-zone effective sparsity of a field under a zone grid.
+std::vector<std::size_t> zone_sparsities(const SpatialField& f,
+                                         const ZoneGrid& grid,
+                                         linalg::BasisKind kind,
+                                         double tol = 0.05);
+
+/// Sparsity estimate for a zone from historical traces: the maximum
+/// effective sparsity over the trace set (a conservative prior).  Throws
+/// std::logic_error when traces are empty.
+std::size_t sparsity_from_traces(const TraceSet& traces,
+                                 linalg::BasisKind kind, double tol = 0.05);
+
+/// The paper's measurement rule M = O(K log N): returns
+/// ceil(c * max(K,1) * log(max(N,2))) clamped to [K+1, N] so the refit
+/// stays overdetermined and never exceeds the zone size.
+std::size_t measurements_for_sparsity(std::size_t k, std::size_t n,
+                                      double c = 1.5);
+
+/// Allocation of a global measurement budget across zones.
+struct ZoneBudget {
+  std::size_t zone_id = 0;
+  std::size_t measurements = 0;
+};
+
+/// Splits `total_budget` across zones proportionally to K_z * log(N_z)
+/// (adaptively, Section 3) with a floor of `min_per_zone`, never exceeding
+/// any zone's size.  If the floors alone exceed the budget the floors win
+/// (the budget is a target, coverage is a correctness requirement).
+std::vector<ZoneBudget> allocate_budget(
+    const std::vector<std::size_t>& zone_sparsity,
+    const std::vector<std::size_t>& zone_sizes, std::size_t total_budget,
+    std::size_t min_per_zone = 4);
+
+/// Uniform (Luo-style, global-sparsity) allocation: the same fraction of
+/// every zone is sampled regardless of its local detail.
+std::vector<ZoneBudget> allocate_uniform(
+    const std::vector<std::size_t>& zone_sizes, std::size_t total_budget,
+    std::size_t min_per_zone = 4);
+
+}  // namespace sensedroid::field

@@ -1,0 +1,102 @@
+#include "field/spatial_field.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/vector_ops.h"
+
+namespace sensedroid::field {
+
+SpatialField::SpatialField(std::size_t width, std::size_t height, double fill)
+    : width_(width), height_(height), data_(width * height, fill) {}
+
+SpatialField SpatialField::from_vector(std::size_t width, std::size_t height,
+                                       std::span<const double> x) {
+  if (x.size() != width * height) {
+    throw std::invalid_argument("SpatialField::from_vector: size mismatch");
+  }
+  SpatialField f(width, height);
+  std::copy(x.begin(), x.end(), f.data_.begin());
+  return f;
+}
+
+double& SpatialField::at(std::size_t i, std::size_t j) {
+  if (i >= height_ || j >= width_) {
+    throw std::out_of_range("SpatialField::at");
+  }
+  return (*this)(i, j);
+}
+
+double SpatialField::at(std::size_t i, std::size_t j) const {
+  if (i >= height_ || j >= width_) {
+    throw std::out_of_range("SpatialField::at");
+  }
+  return (*this)(i, j);
+}
+
+SpatialField SpatialField::extract(std::size_t i0, std::size_t j0,
+                                   std::size_t w, std::size_t h) const {
+  if (i0 + h > height_ || j0 + w > width_) {
+    throw std::out_of_range("SpatialField::extract: rectangle out of range");
+  }
+  SpatialField out(w, h);
+  for (std::size_t j = 0; j < w; ++j) {
+    for (std::size_t i = 0; i < h; ++i) {
+      out(i, j) = (*this)(i0 + i, j0 + j);
+    }
+  }
+  return out;
+}
+
+void SpatialField::insert(std::size_t i0, std::size_t j0,
+                          const SpatialField& patch) {
+  if (i0 + patch.height() > height_ || j0 + patch.width() > width_) {
+    throw std::out_of_range("SpatialField::insert: patch out of range");
+  }
+  for (std::size_t j = 0; j < patch.width(); ++j) {
+    for (std::size_t i = 0; i < patch.height(); ++i) {
+      (*this)(i0 + i, j0 + j) = patch(i, j);
+    }
+  }
+}
+
+double SpatialField::min() const noexcept {
+  return data_.empty() ? 0.0 : *std::min_element(data_.begin(), data_.end());
+}
+
+double SpatialField::max() const noexcept {
+  return data_.empty() ? 0.0 : *std::max_element(data_.begin(), data_.end());
+}
+
+double SpatialField::mean() const noexcept { return linalg::mean(data_); }
+
+SpatialField& SpatialField::operator+=(const SpatialField& rhs) {
+  if (rhs.width_ != width_ || rhs.height_ != height_) {
+    throw std::invalid_argument("SpatialField::operator+=: shape mismatch");
+  }
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+  return *this;
+}
+
+SpatialField& SpatialField::operator-=(const SpatialField& rhs) {
+  if (rhs.width_ != width_ || rhs.height_ != height_) {
+    throw std::invalid_argument("SpatialField::operator-=: shape mismatch");
+  }
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+  return *this;
+}
+
+SpatialField& SpatialField::operator*=(double s) noexcept {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+double field_nrmse(const SpatialField& estimate, const SpatialField& truth) {
+  if (estimate.width() != truth.width() ||
+      estimate.height() != truth.height()) {
+    throw std::invalid_argument("field_nrmse: shape mismatch");
+  }
+  return linalg::nrmse(estimate.flat(), truth.flat());
+}
+
+}  // namespace sensedroid::field

@@ -1,0 +1,104 @@
+// Two-dimensional spatial field maps f[i,j] (Section 4).
+//
+// A field is the quantity a NanoCloud senses over its zone: temperature,
+// pollutant concentration, the 'IsIndoor' danger flag during an
+// earthquake, traffic intensity from 'IsDriving' contexts.  Reconstruction
+// treats it as the length-N vector of eq. 1 (column stacking); this class
+// owns that mapping and its inverse.
+//
+// Note on eq. 1: the paper prints x[k] = f[k mod H, floor(k/W)], which is
+// internally inconsistent for W != H (k ranges over W*H but floor(k/W)
+// would need to index columns when k mod H indexes rows).  We implement
+// the column stacking it describes in prose — x[k] = f[k mod H,
+// floor(k/H)] — which is a bijection for all W, H.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.h"
+
+namespace sensedroid::field {
+
+using linalg::Vector;
+
+/// Dense H x W field map.  Row index i in [0, H), column index j in
+/// [0, W); N = W*H grid points.
+class SpatialField {
+ public:
+  SpatialField() = default;
+
+  /// Creates a width x height field filled with `fill`.
+  SpatialField(std::size_t width, std::size_t height, double fill = 0.0);
+
+  /// Rebuilds a field from its eq.-1 vectorization.  Throws
+  /// std::invalid_argument if x.size() != width*height.
+  static SpatialField from_vector(std::size_t width, std::size_t height,
+                                  std::span<const double> x);
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+  std::size_t size() const noexcept { return data_.size(); }  ///< N = W*H
+
+  /// Element access, row i (0..H), column j (0..W); unchecked.
+  double& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[j * height_ + i];
+  }
+  double operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[j * height_ + i];
+  }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Eq. 1: the column-stacked vector view (storage is already
+  /// column-major, so this is a copy of the flat buffer).
+  Vector vectorize() const { return data_; }
+
+  /// Direct span over the column-stacked storage.
+  std::span<const double> flat() const noexcept { return data_; }
+  std::span<double> flat() noexcept { return data_; }
+
+  /// Grid point index of (i, j) in the vectorization: k = j*H + i.
+  std::size_t index_of(std::size_t i, std::size_t j) const noexcept {
+    return j * height_ + i;
+  }
+
+  /// Inverse of index_of.
+  struct Coord {
+    std::size_t i;  ///< row
+    std::size_t j;  ///< column
+  };
+  Coord coord_of(std::size_t k) const noexcept {
+    return {k % height_, k / height_};
+  }
+
+  /// Copies the rectangle [i0, i0+h) x [j0, j0+w) into a new field.
+  /// Throws std::out_of_range when the rectangle does not fit.
+  SpatialField extract(std::size_t i0, std::size_t j0, std::size_t w,
+                       std::size_t h) const;
+
+  /// Writes `patch` back at (i0, j0); throws std::out_of_range if it does
+  /// not fit.
+  void insert(std::size_t i0, std::size_t j0, const SpatialField& patch);
+
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+
+  SpatialField& operator+=(const SpatialField& rhs);
+  SpatialField& operator-=(const SpatialField& rhs);
+  SpatialField& operator*=(double s) noexcept;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  Vector data_;  // column-major: data_[j*H + i]
+};
+
+/// NRMSE between two equally-shaped fields (the per-zone error metric of
+/// experiments E2/E10).  Throws std::invalid_argument on shape mismatch.
+double field_nrmse(const SpatialField& estimate, const SpatialField& truth);
+
+}  // namespace sensedroid::field

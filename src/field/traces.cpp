@@ -1,0 +1,58 @@
+#include "field/traces.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "field/generators.h"
+
+namespace sensedroid::field {
+
+void TraceSet::add(SpatialField snapshot) {
+  if (!traces_.empty() &&
+      (snapshot.width() != traces_.front().width() ||
+       snapshot.height() != traces_.front().height())) {
+    throw std::invalid_argument("TraceSet::add: shape mismatch");
+  }
+  traces_.push_back(std::move(snapshot));
+}
+
+Matrix TraceSet::to_matrix() const {
+  if (traces_.empty()) {
+    throw std::logic_error("TraceSet::to_matrix: no traces");
+  }
+  const std::size_t n = field_size();
+  Matrix x(traces_.size(), n);
+  for (std::size_t t = 0; t < traces_.size(); ++t) {
+    const auto flat = traces_[t].flat();
+    std::copy(flat.begin(), flat.end(), x.row(t).begin());
+  }
+  return x;
+}
+
+TraceSet evolving_plume_traces(std::size_t width, std::size_t height,
+                               std::size_t n_sources, std::size_t steps,
+                               Rng& rng, double drift, double amp_jitter) {
+  std::vector<GaussianSource> sources(n_sources);
+  const double w = static_cast<double>(width);
+  const double h = static_cast<double>(height);
+  for (auto& s : sources) {
+    s.ci = rng.uniform(0.0, h);
+    s.cj = rng.uniform(0.0, w);
+    s.sigma = rng.uniform(w / 10.0, w / 4.0);
+    s.amplitude = rng.uniform(0.5, 2.0);
+  }
+  TraceSet set;
+  for (std::size_t t = 0; t < steps; ++t) {
+    set.add(gaussian_plume_field(width, height, sources, 0.0));
+    for (auto& s : sources) {
+      s.ci = std::clamp(s.ci + rng.gaussian(0.0, drift), 0.0, h - 1.0);
+      s.cj = std::clamp(s.cj + rng.gaussian(0.0, drift), 0.0, w - 1.0);
+      s.amplitude =
+          std::max(0.1, s.amplitude * (1.0 + rng.gaussian(0.0, amp_jitter)));
+    }
+  }
+  return set;
+}
+
+}  // namespace sensedroid::field

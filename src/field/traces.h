@@ -1,0 +1,52 @@
+// Prior-data trace sets Gamma = {x_1, ..., x_T} (Section 4): historical
+// snapshots of a zone's field, stacked as the T x N matrix X the paper
+// uses to train data-driven (PCA) bases and estimate local sparsity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/spatial_field.h"
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+
+namespace sensedroid::field {
+
+using linalg::Matrix;
+using linalg::Rng;
+
+/// A time-ordered set of equally-shaped field snapshots.
+class TraceSet {
+ public:
+  TraceSet() = default;
+
+  /// Appends a snapshot; all snapshots must share one shape.  Throws
+  /// std::invalid_argument on mismatch.
+  void add(SpatialField snapshot);
+
+  std::size_t count() const noexcept { return traces_.size(); }
+  bool empty() const noexcept { return traces_.empty(); }
+  std::size_t field_size() const noexcept {
+    return traces_.empty() ? 0 : traces_.front().size();
+  }
+
+  const SpatialField& at(std::size_t t) const { return traces_.at(t); }
+
+  /// The T x N matrix X of Section 4 (each row one vectorized snapshot).
+  /// Throws std::logic_error when empty.
+  Matrix to_matrix() const;
+
+ private:
+  std::vector<SpatialField> traces_;
+};
+
+/// Generates T snapshots of a slowly evolving plume field: sources drift
+/// by a random walk of `drift` cells per step and amplitudes wander by
+/// `amp_jitter` — the "prior available data about the local regions" a
+/// broker trains its basis on.
+TraceSet evolving_plume_traces(std::size_t width, std::size_t height,
+                               std::size_t n_sources, std::size_t steps,
+                               Rng& rng, double drift = 1.0,
+                               double amp_jitter = 0.05);
+
+}  // namespace sensedroid::field

@@ -1,0 +1,79 @@
+#include "field/zones.h"
+
+#include <stdexcept>
+
+namespace sensedroid::field {
+
+ZoneGrid::ZoneGrid(std::size_t field_width, std::size_t field_height,
+                   std::size_t rows, std::size_t cols)
+    : field_width_(field_width),
+      field_height_(field_height),
+      rows_(rows),
+      cols_(cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("ZoneGrid: rows/cols must be positive");
+  }
+  if (rows > field_height || cols > field_width) {
+    throw std::invalid_argument("ZoneGrid: more zones than grid cells");
+  }
+  const std::size_t zh = field_height / rows;
+  const std::size_t zw = field_width / cols;
+  zones_.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      Zone z;
+      z.id = r * cols + c;
+      z.i0 = r * zh;
+      z.j0 = c * zw;
+      // Last row/column absorbs the remainder so zones tile exactly.
+      z.height = r + 1 == rows ? field_height - z.i0 : zh;
+      z.width = c + 1 == cols ? field_width - z.j0 : zw;
+      zones_.push_back(z);
+    }
+  }
+}
+
+const Zone& ZoneGrid::zone_at(std::size_t i, std::size_t j) const {
+  if (i >= field_height_ || j >= field_width_) {
+    throw std::out_of_range("ZoneGrid::zone_at");
+  }
+  const std::size_t zh = field_height_ / rows_;
+  const std::size_t zw = field_width_ / cols_;
+  const std::size_t r = std::min(i / zh, rows_ - 1);
+  const std::size_t c = std::min(j / zw, cols_ - 1);
+  return zones_[r * cols_ + c];
+}
+
+SpatialField ZoneGrid::extract(const SpatialField& f, std::size_t id) const {
+  if (f.width() != field_width_ || f.height() != field_height_) {
+    throw std::invalid_argument("ZoneGrid::extract: field shape mismatch");
+  }
+  const Zone& z = zone(id);
+  return f.extract(z.i0, z.j0, z.width, z.height);
+}
+
+void ZoneGrid::insert(SpatialField& f, std::size_t id,
+                      const SpatialField& patch) const {
+  if (f.width() != field_width_ || f.height() != field_height_) {
+    throw std::invalid_argument("ZoneGrid::insert: field shape mismatch");
+  }
+  const Zone& z = zone(id);
+  if (patch.width() != z.width || patch.height() != z.height) {
+    throw std::invalid_argument("ZoneGrid::insert: patch shape mismatch");
+  }
+  f.insert(z.i0, z.j0, patch);
+}
+
+SpatialField stitch(const ZoneGrid& grid,
+                    const std::vector<SpatialField>& patches) {
+  if (patches.size() != grid.zone_count()) {
+    throw std::invalid_argument("stitch: patch count mismatch");
+  }
+  SpatialField out(grid.field_width(), grid.field_height());
+  for (std::size_t id = 0; id < patches.size(); ++id) {
+    grid.insert(out, id, patches[id]);
+  }
+  return out;
+}
+
+}  // namespace sensedroid::field

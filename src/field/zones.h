@@ -1,0 +1,66 @@
+// Zone decomposition (Fig. 5): "the total spatial field area is subdivided
+// into zones and each zone is covered by the mobile local cloud".  A
+// ZoneGrid partitions a W x H field into a rows x cols lattice of
+// rectangular zones; each zone is what one LocalCloud reconstructs, and
+// the full field is re-stitched from the per-zone results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/spatial_field.h"
+
+namespace sensedroid::field {
+
+/// One rectangular zone of the lattice.
+struct Zone {
+  std::size_t id = 0;   ///< row-major zone index
+  std::size_t i0 = 0;   ///< top row of the zone in the parent field
+  std::size_t j0 = 0;   ///< left column
+  std::size_t width = 0;
+  std::size_t height = 0;
+
+  std::size_t size() const noexcept { return width * height; }
+};
+
+/// Rectangular partition of a field into rows x cols zones.  When the
+/// field dimensions do not divide evenly, the last row/column of zones
+/// absorbs the remainder, so zones tile the field exactly.
+class ZoneGrid {
+ public:
+  /// Throws std::invalid_argument when rows/cols are zero or exceed the
+  /// field dimensions.
+  ZoneGrid(std::size_t field_width, std::size_t field_height,
+           std::size_t rows, std::size_t cols);
+
+  std::size_t zone_count() const noexcept { return zones_.size(); }
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t field_width() const noexcept { return field_width_; }
+  std::size_t field_height() const noexcept { return field_height_; }
+
+  const Zone& zone(std::size_t id) const { return zones_.at(id); }
+  const std::vector<Zone>& zones() const noexcept { return zones_; }
+
+  /// The zone containing grid cell (i, j); throws std::out_of_range.
+  const Zone& zone_at(std::size_t i, std::size_t j) const;
+
+  /// Copies a zone's rectangle out of the parent field.  Throws
+  /// std::invalid_argument when the field shape does not match the grid.
+  SpatialField extract(const SpatialField& f, std::size_t id) const;
+
+  /// Writes a reconstructed zone back into the stitched output field.
+  void insert(SpatialField& f, std::size_t id,
+              const SpatialField& patch) const;
+
+ private:
+  std::size_t field_width_, field_height_, rows_, cols_;
+  std::vector<Zone> zones_;
+};
+
+/// Stitches per-zone fields into one full field; patches[id] must match
+/// zone id's shape.  Throws std::invalid_argument on count mismatch.
+SpatialField stitch(const ZoneGrid& grid,
+                    const std::vector<SpatialField>& patches);
+
+}  // namespace sensedroid::field

@@ -1,0 +1,77 @@
+#include "hierarchy/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sensedroid::hierarchy {
+
+namespace {
+
+std::vector<ZoneDecision> decide(const std::vector<std::size_t>& sparsity,
+                                 const field::ZoneGrid& grid,
+                                 const std::vector<ZonePolicy>& policies,
+                                 double c) {
+  if (!policies.empty() && policies.size() != grid.zone_count()) {
+    throw std::invalid_argument("decide_budgets: policy count mismatch");
+  }
+  std::vector<ZoneDecision> out(grid.zone_count());
+  for (std::size_t id = 0; id < grid.zone_count(); ++id) {
+    const ZonePolicy policy = policies.empty() ? ZonePolicy{} : policies[id];
+    if (policy.criticality < 0.0) {
+      throw std::invalid_argument("decide_budgets: negative criticality");
+    }
+    const std::size_t n = grid.zone(id).size();
+    const std::size_t base =
+        field::measurements_for_sparsity(sparsity[id], n, c);
+    auto m = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(base) * policy.criticality));
+    m = std::clamp<std::size_t>(m, 1, n);
+    out[id] = ZoneDecision{
+        id, sparsity[id], m,
+        static_cast<double>(m) / static_cast<double>(n)};
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ZoneDecision> decide_budgets_live(
+    const field::SpatialField& f, const field::ZoneGrid& grid,
+    linalg::BasisKind basis, const std::vector<ZonePolicy>& policies,
+    double c) {
+  std::vector<std::size_t> sparsity(grid.zone_count());
+  for (std::size_t id = 0; id < grid.zone_count(); ++id) {
+    const double tol =
+        policies.empty() ? ZonePolicy{}.accuracy_tol
+                         : policies[id].accuracy_tol;
+    sparsity[id] = field::field_sparsity(grid.extract(f, id), basis, tol);
+  }
+  return decide(sparsity, grid, policies, c);
+}
+
+std::vector<ZoneDecision> decide_budgets_from_traces(
+    const std::vector<field::TraceSet>& zone_traces,
+    const field::ZoneGrid& grid, linalg::BasisKind basis,
+    const std::vector<ZonePolicy>& policies, double c) {
+  if (zone_traces.size() != grid.zone_count()) {
+    throw std::invalid_argument(
+        "decide_budgets_from_traces: trace-set count mismatch");
+  }
+  std::vector<std::size_t> sparsity(grid.zone_count());
+  for (std::size_t id = 0; id < grid.zone_count(); ++id) {
+    const double tol =
+        policies.empty() ? ZonePolicy{}.accuracy_tol
+                         : policies[id].accuracy_tol;
+    sparsity[id] = field::sparsity_from_traces(zone_traces[id], basis, tol);
+  }
+  return decide(sparsity, grid, policies, c);
+}
+
+std::size_t total_measurements(const std::vector<ZoneDecision>& decisions) {
+  std::size_t total = 0;
+  for (const auto& d : decisions) total += d.measurements;
+  return total;
+}
+
+}  // namespace sensedroid::hierarchy

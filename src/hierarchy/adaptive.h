@@ -1,0 +1,54 @@
+// Adaptive per-zone compression control (Fig. 5): "Based on the type of
+// sensing field, the signal sparsity, accuracy requirement, the middleware
+// broker decides the compression ratio during data aggregation in each
+// zone."  Also covers the key-benefit bullets of Section 1: per-region
+// sparsity levels, multi-resolution thresholds by size and importance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/sparsity.h"
+#include "field/traces.h"
+#include "field/zones.h"
+
+namespace sensedroid::hierarchy {
+
+/// Importance weighting of one zone — criticality > 1 buys more samples
+/// ("ability to analyze a region with more emphasis based on criticality
+/// or knowledge of events").
+struct ZonePolicy {
+  double criticality = 1.0;        ///< >= 0; multiplies the sample budget
+  double accuracy_tol = 0.05;      ///< sparsity-estimation tolerance
+};
+
+/// Decision per zone.
+struct ZoneDecision {
+  std::size_t zone_id = 0;
+  std::size_t sparsity = 0;        ///< estimated K_z
+  std::size_t measurements = 0;    ///< decided M_z
+  double compression_ratio = 0.0;  ///< M_z / N_z
+};
+
+/// Decides M_z = clamp(criticality * c * K_z * log N_z) per zone from the
+/// *live* field (oracle sparsity — an upper bound used for analysis).
+/// `policies` may be empty (all defaults) or one entry per zone; any other
+/// size throws std::invalid_argument.
+std::vector<ZoneDecision> decide_budgets_live(
+    const field::SpatialField& f, const field::ZoneGrid& grid,
+    linalg::BasisKind basis, const std::vector<ZonePolicy>& policies = {},
+    double c = 1.5);
+
+/// Decides budgets from historical traces per zone (the deployable path:
+/// "often prior available data about the local regions can be exploited").
+/// `zone_traces[id]` holds that zone's history; throws when counts
+/// mismatch or any trace set is empty.
+std::vector<ZoneDecision> decide_budgets_from_traces(
+    const std::vector<field::TraceSet>& zone_traces,
+    const field::ZoneGrid& grid, linalg::BasisKind basis,
+    const std::vector<ZonePolicy>& policies = {}, double c = 1.5);
+
+/// Total measurements across a decision set.
+std::size_t total_measurements(const std::vector<ZoneDecision>& decisions);
+
+}  // namespace sensedroid::hierarchy

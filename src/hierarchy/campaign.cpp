@@ -1,0 +1,53 @@
+#include "hierarchy/campaign.h"
+
+#include <stdexcept>
+
+namespace sensedroid::hierarchy {
+
+SensingCampaign::SensingCampaign(NanoCloud& cloud, sim::Simulator& sim,
+                                 const Config& config)
+    : cloud_(cloud), sim_(sim), config_(config) {
+  if (config.rounds == 0) {
+    throw std::invalid_argument("SensingCampaign: rounds must be positive");
+  }
+  if (config.period_s <= 0.0) {
+    throw std::invalid_argument("SensingCampaign: period must be positive");
+  }
+  if (config.initial_budget == 0) {
+    throw std::invalid_argument("SensingCampaign: budget must be positive");
+  }
+}
+
+std::vector<RoundReport> SensingCampaign::run(linalg::Rng& rng) {
+  std::vector<RoundReport> reports;
+  reports.reserve(config_.rounds);
+
+  // Shared controller state across the scheduled closures.
+  auto sampler_params = config_.sampler;
+  sampler_params.m_initial = config_.initial_budget;
+  if (sampler_params.m_max < sampler_params.m_initial) {
+    sampler_params.m_max = sampler_params.m_initial;
+  }
+  if (sampler_params.m_min > sampler_params.m_initial) {
+    sampler_params.m_min = 1;
+  }
+  scheduling::AdaptiveSampler sampler(sampler_params);
+
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    sim_.schedule_at(
+        static_cast<double>(r) * config_.period_s, [this, &reports,
+                                                    &sampler, &rng] {
+          const std::size_t budget =
+              config_.adaptive ? sampler.budget() : config_.initial_budget;
+          const auto res = cloud_.gather(budget, rng);
+          if (config_.adaptive) sampler.observe(res.nrmse);
+          reports.push_back(RoundReport{sim_.now(), budget, res.m_used,
+                                        res.nrmse,
+                                        cloud_.total_node_energy_j()});
+        });
+  }
+  sim_.run();
+  return reports;
+}
+
+}  // namespace sensedroid::hierarchy

@@ -1,0 +1,54 @@
+// Continuous sensing campaigns: the paper's applications monitor fields
+// over time ("continuous monitoring can largely drain the battery",
+// Section 5), so gathering is not one round but a schedule of rounds on
+// the discrete-event simulator, with the budget optionally controlled by
+// the adaptive sampler between rounds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hierarchy/nanocloud.h"
+#include "scheduling/adaptive_sampling.h"
+#include "sim/event_sim.h"
+
+namespace sensedroid::hierarchy {
+
+/// One round's outcome within a campaign.
+struct RoundReport {
+  double time_s = 0.0;
+  std::size_t budget = 0;        ///< measurements requested
+  std::size_t m_used = 0;        ///< readings that arrived
+  double nrmse = 0.0;
+  double fleet_energy_j = 0.0;   ///< cumulative phone energy so far
+};
+
+/// Periodic gathering over one NanoCloud.
+class SensingCampaign {
+ public:
+  struct Config {
+    double period_s = 60.0;
+    std::size_t rounds = 10;
+    std::size_t initial_budget = 32;
+    /// When true, the budget follows an AdaptiveSampler fed with each
+    /// round's NRMSE; otherwise it stays fixed at initial_budget.
+    bool adaptive = false;
+    scheduling::AdaptiveSampler::Params sampler{};
+  };
+
+  /// `cloud` and `sim` must outlive the campaign.  Throws
+  /// std::invalid_argument for zero rounds or non-positive period.
+  SensingCampaign(NanoCloud& cloud, sim::Simulator& sim,
+                  const Config& config);
+
+  /// Schedules all rounds and runs the simulator to completion.
+  /// Returns per-round reports in time order.
+  std::vector<RoundReport> run(linalg::Rng& rng);
+
+ private:
+  NanoCloud& cloud_;
+  sim::Simulator& sim_;
+  Config config_;
+};
+
+}  // namespace sensedroid::hierarchy

@@ -1,0 +1,75 @@
+#include "hierarchy/localcloud.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sensedroid::hierarchy {
+
+LocalCloud::LocalCloud(const field::SpatialField& truth,
+                       const field::ZoneGrid& grid,
+                       const NanoCloudConfig& nc_config, Rng& rng,
+                       sim::LinkModel uplink)
+    : truth_(&truth), grid_(grid), uplink_(uplink) {
+  if (truth.width() != grid.field_width() ||
+      truth.height() != grid.field_height()) {
+    throw std::invalid_argument("LocalCloud: grid/field shape mismatch");
+  }
+  clouds_.reserve(grid.zone_count());
+  zone_truths_.reserve(grid.zone_count());
+  for (std::size_t id = 0; id < grid.zone_count(); ++id) {
+    zone_truths_.push_back(grid.extract(truth, id));
+  }
+  for (std::size_t id = 0; id < grid.zone_count(); ++id) {
+    clouds_.emplace_back(zone_truths_[id], nc_config, rng);
+  }
+}
+
+RegionalResult LocalCloud::gather(const std::vector<ZoneDecision>& decisions,
+                                  Rng& rng) {
+  if (decisions.size() != clouds_.size()) {
+    throw std::invalid_argument("LocalCloud::gather: decision count mismatch");
+  }
+  std::vector<std::size_t> budget(clouds_.size(), 0);
+  std::vector<bool> seen(clouds_.size(), false);
+  for (const auto& d : decisions) {
+    if (d.zone_id >= clouds_.size() || seen[d.zone_id]) {
+      throw std::invalid_argument("LocalCloud::gather: bad zone ids");
+    }
+    seen[d.zone_id] = true;
+    budget[d.zone_id] = d.measurements;
+  }
+
+  RegionalResult out;
+  out.reconstruction =
+      field::SpatialField(grid_.field_width(), grid_.field_height());
+  out.zone_nrmse.resize(clouds_.size(), 0.0);
+
+  for (std::size_t id = 0; id < clouds_.size(); ++id) {
+    auto res = clouds_[id].gather(std::max<std::size_t>(budget[id], 1), rng);
+    out.total_measurements += res.m_used;
+    out.node_energy_j += res.node_energy_j;
+    out.stats += res.stats;
+    out.zone_nrmse[id] = res.nrmse;
+    grid_.insert(out.reconstruction, id, res.reconstruction);
+
+    // Uplink: the NC broker ships its support coefficients to the head.
+    const std::size_t bytes = 32 + 16 * res.support_size;
+    out.uplink_bytes += bytes;
+    out.uplink_energy_j +=
+        uplink_.tx_energy_j(bytes) + uplink_.rx_energy_j(bytes);
+  }
+  out.nrmse = field::field_nrmse(out.reconstruction, *truth_);
+  return out;
+}
+
+RegionalResult LocalCloud::gather_uniform(std::size_t measurements_per_zone,
+                                          Rng& rng) {
+  std::vector<ZoneDecision> decisions(clouds_.size());
+  for (std::size_t id = 0; id < clouds_.size(); ++id) {
+    decisions[id].zone_id = id;
+    decisions[id].measurements = measurements_per_zone;
+  }
+  return gather(decisions, rng);
+}
+
+}  // namespace sensedroid::hierarchy

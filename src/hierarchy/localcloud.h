@@ -1,0 +1,66 @@
+// The LocalCloud (Fig. 1): a head broker federating the NanoClouds of its
+// region.  "This hierarchy allows the nodes to collaborate through the
+// broker ... and concatenate the results of the NCs for the local
+// region."  The head receives each NC's reconstruction summary (support
+// coefficients, not raw samples) and stitches the regional field.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/zones.h"
+#include "hierarchy/adaptive.h"
+#include "hierarchy/nanocloud.h"
+#include "sim/radio.h"
+
+namespace sensedroid::hierarchy {
+
+/// Aggregated accounting of one regional gathering round.
+struct RegionalResult {
+  field::SpatialField reconstruction;   ///< stitched regional field
+  double nrmse = 0.0;                   ///< against regional ground truth
+  std::size_t total_measurements = 0;   ///< phone readings taken
+  std::size_t uplink_bytes = 0;         ///< NC broker -> head traffic
+  double uplink_energy_j = 0.0;         ///< radio energy of those uplinks
+  double node_energy_j = 0.0;           ///< summed phone energy
+  middleware::GatherStats stats;        ///< summed NC gather stats
+  std::vector<double> zone_nrmse;       ///< per-zone error map (Fig. 5)
+};
+
+/// A LocalCloud over a regional ground-truth field partitioned by a
+/// ZoneGrid, one NanoCloud per zone.
+class LocalCloud {
+ public:
+  /// Builds one NC per zone.  `truth` must outlive the cloud.
+  LocalCloud(const field::SpatialField& truth, const field::ZoneGrid& grid,
+             const NanoCloudConfig& nc_config, Rng& rng,
+             sim::LinkModel uplink = sim::LinkModel::of(sim::RadioKind::kWiFi));
+
+  std::size_t zone_count() const noexcept { return clouds_.size(); }
+  NanoCloud& nanocloud(std::size_t id) { return clouds_.at(id); }
+  const field::ZoneGrid& grid() const noexcept { return grid_; }
+
+  /// Gathers every zone with its decided budget and stitches the region.
+  /// `decisions` must have one entry per zone (any order is accepted but
+  /// ids must cover 0..Z-1 exactly); throws std::invalid_argument
+  /// otherwise.  Uplink traffic models each NC broker shipping its
+  /// support coefficients (16 B per coefficient: index + value) plus a
+  /// 32 B header to the head broker.
+  RegionalResult gather(const std::vector<ZoneDecision>& decisions, Rng& rng);
+
+  /// Convenience: uniform budget per zone (the Luo-style non-adaptive
+  /// configuration at equal total cost).
+  RegionalResult gather_uniform(std::size_t measurements_per_zone, Rng& rng);
+
+ private:
+  const field::SpatialField* truth_;
+  field::ZoneGrid grid_;
+  // Zone ground truths are materialized before the NanoClouds because each
+  // NC keeps a pointer to its zone; the vector is fully reserved up front
+  // so those pointers stay stable.
+  std::vector<field::SpatialField> zone_truths_;
+  std::vector<NanoCloud> clouds_;
+  sim::LinkModel uplink_;
+};
+
+}  // namespace sensedroid::hierarchy

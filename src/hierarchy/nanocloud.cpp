@@ -1,0 +1,182 @@
+#include "hierarchy/nanocloud.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cs/measurement.h"
+#include "linalg/vector_ops.h"
+
+namespace sensedroid::hierarchy {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+constexpr middleware::NodeId kBrokerId = 1'000'000;
+}  // namespace
+
+NanoCloud::NanoCloud(const field::SpatialField& truth,
+                     const NanoCloudConfig& config, Rng& rng)
+    : truth_(&truth),
+      config_(config),
+      broker_(kBrokerId,
+              {truth.width() * config.cell_m / 2.0,
+               truth.height() * config.cell_m / 2.0}),
+      basis_(config.basis == linalg::BasisKind::kDct && config.separable_2d
+                 ? linalg::dct2_basis(truth.width(), truth.height())
+                 : linalg::make_basis(config.basis, truth.size(),
+                                      rng.next_u64())) {
+  if (config_.basis == linalg::BasisKind::kDct && config_.separable_2d) {
+    config_.chs.grid_height = truth.height();
+  }
+  if (truth.size() == 0) {
+    throw std::invalid_argument("NanoCloud: empty zone");
+  }
+  if (config.coverage < 0.0 || config.coverage > 1.0) {
+    throw std::invalid_argument("NanoCloud: coverage must be in [0, 1]");
+  }
+  if (config.opt_out_fraction < 0.0 || config.opt_out_fraction > 1.0) {
+    throw std::invalid_argument(
+        "NanoCloud: opt_out_fraction must be in [0, 1]");
+  }
+  if (config.battery_capacity_j < 0.0) {
+    throw std::invalid_argument("NanoCloud: negative battery capacity");
+  }
+
+  cell_to_node_.assign(truth.size(), kNpos);
+  const auto flat = truth.flat();
+  constexpr sensing::QualityTier kTiers[] = {sensing::QualityTier::kFlagship,
+                                             sensing::QualityTier::kMidrange,
+                                             sensing::QualityTier::kBudget};
+  middleware::NodeId next_id = 1;
+
+  for (std::size_t cell = 0; cell < truth.size(); ++cell) {
+    const bool phone_here = rng.bernoulli(config.coverage);
+    const bool backfill = !phone_here && config.infrastructure_backfill;
+    if (!phone_here && !backfill) continue;
+
+    const auto coord = truth.coord_of(cell);
+    const sim::Point pos{
+        (static_cast<double>(coord.j) + 0.5) * config.cell_m,
+        (static_cast<double>(coord.i) + 0.5) * config.cell_m};
+    middleware::MobileNode node(next_id++, pos,
+                                sim::LinkModel::of(sim::RadioKind::kWiFi),
+                                sim::Battery(config.battery_capacity_j));
+    if (!backfill && rng.bernoulli(config.opt_out_fraction)) {
+      node.policy().set_opted_out(true);
+    }
+    // Infrastructure sensors are wired and flagship-grade; phones draw a
+    // random quality tier.
+    const auto tier = backfill ? sensing::QualityTier::kFlagship
+                               : kTiers[rng.uniform_index(3)];
+    const double value = flat[cell];
+    node.add_sensor(sensing::SimulatedSensor(
+        config.sensor, tier, [value](std::size_t) { return value; },
+        rng.next_u64()));
+    broker_.enroll(node);
+    cell_to_node_[cell] = nodes_.size();
+    covered_.push_back(cell);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+GatherResult NanoCloud::gather(std::size_t m, Rng& rng) {
+  if (m == 0) {
+    throw std::invalid_argument("NanoCloud::gather: m must be positive");
+  }
+  m = std::min(m, covered_.size());
+  // Random spatial sampling over covered cells.
+  std::vector<std::size_t> picked_idx =
+      rng.sample_without_replacement(covered_.size(), m);
+  std::vector<std::size_t> cells;
+  cells.reserve(m);
+  for (std::size_t i : picked_idx) cells.push_back(covered_[i]);
+  return reconstruct_from(cells, rng, /*compressive=*/true);
+}
+
+GatherResult NanoCloud::gather_dense(Rng& rng) {
+  return reconstruct_from(covered_, rng, /*compressive=*/false);
+}
+
+GatherResult NanoCloud::reconstruct_from(
+    const std::vector<std::size_t>& cells, Rng& rng, bool compressive) {
+  GatherResult out;
+  out.m_requested = cells.size();
+
+  // Telemetry: command the node on each selected cell.
+  std::vector<middleware::MobileNode*> targets;
+  targets.reserve(cells.size());
+  for (std::size_t cell : cells) {
+    targets.push_back(&nodes_[cell_to_node_[cell]]);
+  }
+  const double node_energy_before = total_node_energy_j();
+  const auto readings = broker_.collect(targets, config_.sensor,
+                                        /*sample_index=*/0, rng, &out.stats);
+  out.node_energy_j = total_node_energy_j() - node_energy_before;
+  out.m_used = readings.size();
+
+  // Build the measurement from the cells whose readings survived.
+  // Readings come back in command order; map node -> cell.
+  std::vector<std::size_t> got_cells;
+  linalg::Vector values;
+  linalg::Vector sigmas;
+  got_cells.reserve(readings.size());
+  for (const auto& r : readings) {
+    // Node ids were assigned in covered-cell order starting at 1.
+    const std::size_t node_idx = r.node - 1;
+    got_cells.push_back(covered_[node_idx]);
+    values.push_back(r.value);
+    sigmas.push_back(r.sigma);
+  }
+  // Sort jointly by cell index (MeasurementPlan requires ascending).
+  std::vector<std::size_t> order(got_cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return got_cells[a] < got_cells[b];
+  });
+  std::vector<std::size_t> sorted_cells(order.size());
+  linalg::Vector sorted_values(order.size());
+  linalg::Vector sorted_sigmas(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted_cells[i] = got_cells[order[i]];
+    sorted_values[i] = values[order[i]];
+    sorted_sigmas[i] = sigmas[order[i]];
+  }
+
+  const std::size_t n = truth_->size();
+  if (sorted_cells.empty()) {
+    out.reconstruction = field::SpatialField(truth_->width(),
+                                             truth_->height());
+    out.nrmse = field::field_nrmse(out.reconstruction, *truth_);
+    return out;
+  }
+
+  auto plan = cs::MeasurementPlan::from_indices(n, sorted_cells);
+  cs::Measurement meas{std::move(plan), std::move(sorted_values),
+                       cs::SensorNoise{std::move(sorted_sigmas)}};
+
+  linalg::Vector full;
+  if (compressive) {
+    const auto res = cs::chs_reconstruct(basis_, meas, config_.chs);
+    full = res.reconstruction;
+    out.support_size = res.support.size();
+  } else {
+    // Dense baseline: no model, just interpolate the raw readings onto
+    // the grid.
+    full = cs::interpolate_to_grid(meas.values, meas.plan.indices(), n,
+                                   cs::Interpolation::kLinear);
+    out.support_size = meas.values.size();
+  }
+  out.reconstruction =
+      field::SpatialField::from_vector(truth_->width(), truth_->height(),
+                                       full);
+  out.nrmse = field::field_nrmse(out.reconstruction, *truth_);
+  return out;
+}
+
+double NanoCloud::total_node_energy_j() const noexcept {
+  double total = 0.0;
+  for (const auto& n : nodes_) total += n.meter().total_j();
+  return total;
+}
+
+}  // namespace sensedroid::hierarchy

@@ -1,0 +1,42 @@
+#include "hierarchy/publiccloud.h"
+
+#include <stdexcept>
+
+namespace sensedroid::hierarchy {
+
+PublicCloud::PublicCloud(std::size_t width, std::size_t height)
+    : field_(width, height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("PublicCloud: zero dimensions");
+  }
+}
+
+void PublicCloud::integrate(const RegionPlacement& where,
+                            const field::SpatialField& regional,
+                            double timestamp) {
+  field_.insert(where.i0, where.j0, regional);  // throws if it doesn't fit
+  ++integrated_;
+  last_update_ = timestamp;
+}
+
+double PublicCloud::value_at(std::size_t i, std::size_t j) const {
+  return field_.at(i, j);
+}
+
+double PublicCloud::region_mean(std::size_t i0, std::size_t j0,
+                                std::size_t w, std::size_t h) const {
+  return field_.extract(i0, j0, w, h).mean();
+}
+
+std::vector<PublicCloud::HotSpot> PublicCloud::cells_above(
+    double threshold) const {
+  std::vector<HotSpot> out;
+  for (std::size_t j = 0; j < field_.width(); ++j) {
+    for (std::size_t i = 0; i < field_.height(); ++i) {
+      if (field_(i, j) > threshold) out.push_back(HotSpot{i, j, field_(i, j)});
+    }
+  }
+  return out;
+}
+
+}  // namespace sensedroid::hierarchy

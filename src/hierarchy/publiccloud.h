@@ -1,0 +1,64 @@
+// The public-cloud tier (Fig. 1): "the head broker in the LCs in turn
+// communicate with other LCs and the public cloud in the next hierarchy."
+// The PublicCloud assembles regional reconstructions into the global
+// field and answers application queries over it — the "sense-making"
+// output of the whole stack.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "field/spatial_field.h"
+#include "hierarchy/localcloud.h"
+
+namespace sensedroid::hierarchy {
+
+/// Placement of one LocalCloud's region inside the global field.
+struct RegionPlacement {
+  std::size_t i0 = 0;  ///< top row of the region in the global grid
+  std::size_t j0 = 0;  ///< left column
+};
+
+/// Global assembly + query tier.
+class PublicCloud {
+ public:
+  /// `width` x `height` global grid.  Throws on zero dimensions.
+  PublicCloud(std::size_t width, std::size_t height);
+
+  /// Integrates a regional reconstruction at its placement; overlapping
+  /// uploads overwrite (latest wins).  Throws std::out_of_range when the
+  /// region does not fit.
+  void integrate(const RegionPlacement& where,
+                 const field::SpatialField& regional,
+                 double timestamp = 0.0);
+
+  std::size_t regions_integrated() const noexcept { return integrated_; }
+  double last_update_time() const noexcept { return last_update_; }
+
+  /// The assembled global field (cells never covered remain 0).
+  const field::SpatialField& global_field() const noexcept { return field_; }
+
+  /// Point query; throws std::out_of_range outside the grid.
+  double value_at(std::size_t i, std::size_t j) const;
+
+  /// Mean over a rectangle; throws std::out_of_range when it doesn't fit.
+  double region_mean(std::size_t i0, std::size_t j0, std::size_t w,
+                     std::size_t h) const;
+
+  /// Cells (as (i, j) + value) exceeding a threshold — the "areas of most
+  /// impact" a disaster-response application asks for.
+  struct HotSpot {
+    std::size_t i;
+    std::size_t j;
+    double value;
+  };
+  std::vector<HotSpot> cells_above(double threshold) const;
+
+ private:
+  field::SpatialField field_;
+  std::size_t integrated_ = 0;
+  double last_update_ = 0.0;
+};
+
+}  // namespace sensedroid::hierarchy

@@ -1,0 +1,113 @@
+#include "incentives/auction.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sensedroid::incentives {
+
+AuctionRound second_price_auction(const std::vector<double>& bids,
+                                  std::size_t k, double reserve_price) {
+  if (k == 0) {
+    throw std::invalid_argument("second_price_auction: k must be positive");
+  }
+  AuctionRound round;
+  if (bids.empty()) return round;
+
+  std::vector<std::size_t> order(bids.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return bids[a] < bids[b] || (bids[a] == bids[b] && a < b);
+  });
+
+  const std::size_t winners = std::min(k, bids.size());
+  // Uniform clearing price: the first losing bid, or the reserve when
+  // everyone wins.
+  const double clearing = winners < bids.size()
+                              ? std::min(bids[order[winners]], reserve_price)
+                              : reserve_price;
+  for (std::size_t i = 0; i < winners; ++i) {
+    if (bids[order[i]] > reserve_price) break;  // nobody under reserve left
+    round.winners.push_back(static_cast<std::uint32_t>(order[i]));
+    round.total_payment += clearing;
+  }
+  if (!round.winners.empty()) {
+    round.price_per_reading =
+        round.total_payment / static_cast<double>(round.winners.size());
+  }
+  return round;
+}
+
+RadpVpc::RadpVpc(const Params& params) : params_(params) {
+  if (params.k == 0) {
+    throw std::invalid_argument("RadpVpc: k must be positive");
+  }
+}
+
+AuctionRound RadpVpc::run_round(std::vector<Participant>& population) {
+  if (credit_.size() < population.size()) {
+    credit_.resize(population.size(), 0.0);
+    lost_streak_.resize(population.size(), 0);
+  }
+  ++rounds_;
+
+  // Effective bids of active participants.
+  std::vector<std::size_t> index;  // population index of each bid
+  std::vector<double> bids;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!population[i].active) continue;
+    index.push_back(i);
+    bids.push_back(std::max(0.0, population[i].true_cost - credit_[i]));
+  }
+
+  AuctionRound outcome =
+      second_price_auction(bids, params_.k, params_.reserve_price);
+
+  // Settle accounts: winners are paid the clearing price and pay their
+  // true cost; losers accrue credit and may drop out.
+  std::vector<bool> won(index.size(), false);
+  for (std::uint32_t bid_pos : outcome.winners) won[bid_pos] = true;
+  std::vector<std::uint32_t> winner_ids;
+  for (std::size_t b = 0; b < index.size(); ++b) {
+    Participant& p = population[index[b]];
+    if (won[b]) {
+      p.earned += outcome.price_per_reading;
+      p.spent += p.true_cost;
+      credit_[index[b]] = 0.0;
+      lost_streak_[index[b]] = 0;
+      winner_ids.push_back(p.id);
+    } else {
+      credit_[index[b]] += params_.vpc;
+      ++lost_streak_[index[b]];
+      if (lost_streak_[index[b]] >= params_.patience &&
+          p.utility() <= params_.dropout_utility) {
+        p.active = false;
+      }
+    }
+  }
+  outcome.winners = std::move(winner_ids);  // report participant ids
+  return outcome;
+}
+
+AuctionRound fixed_price_round(std::vector<Participant>& population,
+                               double price, std::size_t k) {
+  if (k == 0) {
+    throw std::invalid_argument("fixed_price_round: k must be positive");
+  }
+  AuctionRound round;
+  for (Participant& p : population) {
+    if (round.winners.size() >= k) break;
+    if (!p.active || p.true_cost > price) continue;
+    p.earned += price;
+    p.spent += p.true_cost;
+    round.winners.push_back(p.id);
+    round.total_payment += price;
+  }
+  if (!round.winners.empty()) {
+    round.price_per_reading =
+        round.total_payment / static_cast<double>(round.winners.size());
+  }
+  return round;
+}
+
+}  // namespace sensedroid::incentives

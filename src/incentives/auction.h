@@ -1,0 +1,73 @@
+// Auction-based incentive mechanisms (Section 5's citations):
+//   - sealed-bid second-price procurement auction [Danezis et al.]:
+//     truthful — bidding the true cost is a dominant strategy;
+//   - RADP-VPC reverse auction with virtual participation credit
+//     [Lee & Hoh]: keeps losing bidders engaged by crediting them, which
+//     stabilizes participation over repeated rounds;
+//   - fixed-price posting, the naive baseline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "incentives/participant.h"
+
+namespace sensedroid::incentives {
+
+/// Outcome of one procurement round.
+struct AuctionRound {
+  std::vector<std::uint32_t> winners;  ///< participant ids selected
+  double total_payment = 0.0;          ///< platform spend this round
+  double price_per_reading = 0.0;      ///< average payment per winner
+};
+
+/// Sealed-bid (k+1)-price reverse auction: the k lowest bids win and each
+/// winner is paid the (k+1)-th lowest bid (uniform clearing price).  With
+/// fewer than k+1 bidders the reserve price clears.  Truthful for
+/// single-minded bidders.  Bids must be parallel to `bids`' participants.
+/// Throws std::invalid_argument when k == 0.
+AuctionRound second_price_auction(const std::vector<double>& bids,
+                                  std::size_t k, double reserve_price);
+
+/// RADP-VPC state: repeated reverse auctions with Virtual Participation
+/// Credit.  Losers earn `vpc` credit per lost round, subtracted from
+/// their effective bid in future rounds; winning resets the credit.
+/// Participants whose cumulative utility stays below `dropout_utility`
+/// for `patience` consecutive losing rounds deactivate — the phenomenon
+/// VPC exists to prevent.
+class RadpVpc {
+ public:
+  struct Params {
+    std::size_t k = 10;            ///< readings bought per round
+    double vpc = 0.1;              ///< credit per losing round
+    double dropout_utility = 0.0;  ///< leave when utility stuck <= this
+    std::size_t patience = 3;      ///< losing rounds tolerated
+    double reserve_price = 1e9;    ///< max clearing price
+  };
+
+  explicit RadpVpc(const Params& params);
+
+  /// Runs one round over the population: active participants bid
+  /// true_cost - credit (not below 0), k lowest effective bids win at the
+  /// uniform (k+1)-th price, winners are paid and charged their true
+  /// cost, losers accrue credit and may drop out.  Returns the round
+  /// outcome; mutates the population's accounts and activity.
+  AuctionRound run_round(std::vector<Participant>& population);
+
+  std::size_t rounds_run() const noexcept { return rounds_; }
+
+ private:
+  Params params_;
+  std::vector<double> credit_;        // indexed by participant id
+  std::vector<std::size_t> lost_streak_;
+  std::size_t rounds_ = 0;
+};
+
+/// Fixed-price posting: everyone with true_cost <= price participates and
+/// is paid `price`; the platform takes at most k of them (lowest ids —
+/// arrival order).  The baseline both papers improve on.
+AuctionRound fixed_price_round(std::vector<Participant>& population,
+                               double price, std::size_t k);
+
+}  // namespace sensedroid::incentives

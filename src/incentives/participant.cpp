@@ -1,0 +1,24 @@
+#include "incentives/participant.h"
+
+#include <stdexcept>
+
+namespace sensedroid::incentives {
+
+std::vector<Participant> make_population(std::size_t n, double cost_lo,
+                                         double cost_hi,
+                                         const sim::Rect& region, Rng& rng) {
+  if (cost_lo < 0.0 || cost_hi < cost_lo) {
+    throw std::invalid_argument("make_population: need 0 <= lo <= hi");
+  }
+  std::vector<Participant> pop(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop[i].id = static_cast<std::uint32_t>(i);
+    pop[i].true_cost = rng.uniform(cost_lo, cost_hi);
+    pop[i].position = {rng.uniform(region.x0, region.x1),
+                       rng.uniform(region.y0, region.y1)};
+    pop[i].reputation = rng.uniform(0.5, 1.0);
+  }
+  return pop;
+}
+
+}  // namespace sensedroid::incentives

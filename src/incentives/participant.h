@@ -1,0 +1,43 @@
+// Participant model for incentive mechanisms (Section 5: "Incentive
+// mechanism to motivate participation and collaboration is an important
+// aspect that needs to be researched to bring desirable economic
+// properties and appropriate utility in the collaboration framework.")
+//
+// A participant has a private per-reading cost (battery wear, data plan,
+// attention), a position (for coverage-aware recruitment), and a running
+// account of payments received — the platform never observes the true
+// cost, only bids.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/random.h"
+#include "sim/geometry.h"
+
+namespace sensedroid::incentives {
+
+using linalg::Rng;
+
+/// One crowd member eligible to sense.
+struct Participant {
+  std::uint32_t id = 0;
+  double true_cost = 1.0;     ///< private valuation per reading
+  sim::Point position;        ///< for coverage-aware recruitment
+  double reputation = 1.0;    ///< data-quality track record, [0, 1]
+  bool active = true;         ///< still willing to participate
+  double earned = 0.0;        ///< cumulative payments
+  double spent = 0.0;         ///< cumulative true cost incurred
+
+  /// Net utility so far (what keeps the participant around).
+  double utility() const noexcept { return earned - spent; }
+};
+
+/// Population generator: costs uniform in [cost_lo, cost_hi], positions
+/// uniform in `region`, reputations in [0.5, 1].  Deterministic in rng.
+std::vector<Participant> make_population(std::size_t n, double cost_lo,
+                                         double cost_hi,
+                                         const sim::Rect& region, Rng& rng);
+
+}  // namespace sensedroid::incentives

@@ -1,0 +1,83 @@
+#include "incentives/recruitment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sensedroid::incentives {
+
+std::size_t CoverageGrid::cell_of(const sim::Point& p) const noexcept {
+  const sim::Point q = region.clamp(p);
+  const double fx = region.width() > 0.0
+                        ? (q.x - region.x0) / region.width()
+                        : 0.0;
+  const double fy = region.height() > 0.0
+                        ? (q.y - region.y0) / region.height()
+                        : 0.0;
+  const std::size_t c = std::min(cols - 1, static_cast<std::size_t>(
+                                               fx * static_cast<double>(cols)));
+  const std::size_t r = std::min(rows - 1, static_cast<std::size_t>(
+                                               fy * static_cast<double>(rows)));
+  return r * cols + c;
+}
+
+RecruitmentResult recruit_greedy(const std::vector<Participant>& population,
+                                 const CoverageGrid& grid, double budget) {
+  if (grid.cell_count() == 0) {
+    throw std::invalid_argument("recruit_greedy: empty grid");
+  }
+  RecruitmentResult result;
+  std::vector<bool> covered(grid.cell_count(), false);
+  std::vector<bool> taken(population.size(), false);
+  double remaining = budget;
+
+  while (true) {
+    std::size_t best = population.size();
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      const Participant& p = population[i];
+      if (taken[i] || !p.active || p.true_cost > remaining) continue;
+      const std::size_t cell = grid.cell_of(p.position);
+      const double gain = covered[cell] ? 0.1 : 1.0;  // density still helps
+      const double score =
+          gain * p.reputation / std::max(p.true_cost, 1e-9);
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == population.size()) break;
+    taken[best] = true;
+    remaining -= population[best].true_cost;
+    result.total_cost += population[best].true_cost;
+    result.selected.push_back(population[best].id);
+    covered[grid.cell_of(population[best].position)] = true;
+  }
+  for (bool c : covered) {
+    if (c) ++result.cells_covered;
+  }
+  return result;
+}
+
+RecruitmentResult recruit_arrival_order(
+    const std::vector<Participant>& population, const CoverageGrid& grid,
+    double budget) {
+  if (grid.cell_count() == 0) {
+    throw std::invalid_argument("recruit_arrival_order: empty grid");
+  }
+  RecruitmentResult result;
+  std::vector<bool> covered(grid.cell_count(), false);
+  double remaining = budget;
+  for (const Participant& p : population) {
+    if (!p.active || p.true_cost > remaining) continue;
+    remaining -= p.true_cost;
+    result.total_cost += p.true_cost;
+    result.selected.push_back(p.id);
+    covered[grid.cell_of(p.position)] = true;
+  }
+  for (bool c : covered) {
+    if (c) ++result.cells_covered;
+  }
+  return result;
+}
+
+}  // namespace sensedroid::incentives

@@ -1,0 +1,47 @@
+// Coverage-aware recruitment (Section 5, citing Reddy et al.:
+// "selecting well-suited participants for sensing services within
+// recruitment frameworks").  Given a zone grid over the deployment region
+// and a budget, pick participants maximizing cell coverage weighted by
+// reputation — a classic greedy max-coverage heuristic with its (1-1/e)
+// guarantee.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "incentives/participant.h"
+
+namespace sensedroid::incentives {
+
+/// Result of a recruitment pass.
+struct RecruitmentResult {
+  std::vector<std::uint32_t> selected;  ///< participant ids, pick order
+  double total_cost = 0.0;              ///< sum of selected true costs
+  std::size_t cells_covered = 0;        ///< distinct grid cells reached
+};
+
+/// Partition of the region into rows x cols recruitment cells.
+struct CoverageGrid {
+  sim::Rect region;
+  std::size_t rows = 1;
+  std::size_t cols = 1;
+
+  std::size_t cell_count() const noexcept { return rows * cols; }
+  /// Cell index of a position (clamped into the region).
+  std::size_t cell_of(const sim::Point& p) const noexcept;
+};
+
+/// Greedy reputation-weighted max-coverage under a cost budget: each step
+/// picks the active participant with the best (new-cells * reputation /
+/// cost) ratio until the budget or coverage is exhausted.  Throws
+/// std::invalid_argument when the grid has no cells.
+RecruitmentResult recruit_greedy(const std::vector<Participant>& population,
+                                 const CoverageGrid& grid, double budget);
+
+/// Baseline: recruit in arrival (id) order until the budget runs out.
+RecruitmentResult recruit_arrival_order(
+    const std::vector<Participant>& population, const CoverageGrid& grid,
+    double budget);
+
+}  // namespace sensedroid::incentives

@@ -1,0 +1,212 @@
+#include "linalg/basis.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/decomposition.h"
+#include "linalg/random.h"
+#include "linalg/vector_ops.h"
+
+namespace sensedroid::linalg {
+
+std::string to_string(BasisKind kind) {
+  switch (kind) {
+    case BasisKind::kIdentity: return "identity";
+    case BasisKind::kDct: return "dct";
+    case BasisKind::kHaar: return "haar";
+    case BasisKind::kGaussian: return "gaussian";
+    case BasisKind::kPca: return "pca";
+  }
+  return "unknown";
+}
+
+Matrix dct_basis(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("dct_basis: n must be positive");
+  Matrix phi(n, n);
+  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  // Synthesis matrix: x[m] = sum_k phi(m,k) alpha[k]; columns are cosines.
+  for (std::size_t m = 0; m < n; ++m) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double c = k == 0 ? scale0 : scale;
+      phi(m, k) = c * std::cos(std::numbers::pi *
+                               (2.0 * static_cast<double>(m) + 1.0) *
+                               static_cast<double>(k) /
+                               (2.0 * static_cast<double>(n)));
+    }
+  }
+  return phi;
+}
+
+Matrix haar_basis(std::size_t n) {
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("haar_basis: n must be a power of two");
+  }
+  Matrix phi(n, n);
+  const double root_n = std::sqrt(static_cast<double>(n));
+  // Column 0: the scaling function.
+  for (std::size_t m = 0; m < n; ++m) phi(m, 0) = 1.0 / root_n;
+  // Wavelets psi_{j,k}: scale j has 2^j wavelets of support n / 2^j.
+  std::size_t col = 1;
+  for (std::size_t scale = 1; scale < n; scale *= 2) {
+    const std::size_t support = n / scale;
+    const double amp = std::sqrt(static_cast<double>(scale) /
+                                 static_cast<double>(n));
+    for (std::size_t k = 0; k < scale; ++k, ++col) {
+      const std::size_t start = k * support;
+      for (std::size_t m = 0; m < support / 2; ++m) {
+        phi(start + m, col) = amp;
+        phi(start + support / 2 + m, col) = -amp;
+      }
+    }
+  }
+  return phi;
+}
+
+Matrix identity_basis(std::size_t n) { return Matrix::identity(n); }
+
+Matrix kronecker(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double aij = a(i, j);
+      if (aij == 0.0) continue;
+      for (std::size_t k = 0; k < b.rows(); ++k) {
+        for (std::size_t l = 0; l < b.cols(); ++l) {
+          out(i * b.rows() + k, j * b.cols() + l) = aij * b(k, l);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix dct2_basis(std::size_t width, std::size_t height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("dct2_basis: dimensions must be positive");
+  }
+  // Column stacking puts the row index (height) in the fast dimension, so
+  // the height-DCT is the inner factor of the Kronecker product.
+  return kronecker(dct_basis(width), dct_basis(height));
+}
+
+Matrix gaussian_basis(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.gaussian();
+  }
+  std::size_t rank = 0;
+  Matrix q = orthonormalize_columns(g, 1e-10, &rank);
+  // A random Gaussian square matrix is full rank with probability 1, but
+  // guard against the measure-zero event by re-drawing.
+  while (rank < n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.gaussian();
+    }
+    q = orthonormalize_columns(g, 1e-10, &rank);
+  }
+  return q;
+}
+
+Matrix pca_basis(const Matrix& traces) {
+  if (traces.rows() == 0 || traces.cols() == 0) {
+    throw std::invalid_argument("pca_basis: empty trace matrix");
+  }
+  const std::size_t t = traces.rows();
+  const std::size_t n = traces.cols();
+  // Mean-remove across traces.
+  Matrix centered = traces;
+  for (std::size_t j = 0; j < n; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < t; ++i) m += traces(i, j);
+    m /= static_cast<double>(t);
+    for (std::size_t i = 0; i < t; ++i) centered(i, j) -= m;
+  }
+  // Covariance C = X^T X / T (N x N) and its eigenvectors.
+  Matrix cov = centered.gram();
+  cov *= 1.0 / static_cast<double>(t);
+  EigenResult eig = jacobi_eigen(cov);
+
+  // Keep directions carrying real variance, then complete to a full
+  // orthonormal N x N basis so downstream code can treat it like DCT.
+  const double total =
+      std::max(1e-300, std::abs(eig.eigenvalues.empty()
+                                    ? 0.0
+                                    : eig.eigenvalues.front()));
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (eig.eigenvalues[i] > 1e-12 * total) ++keep;
+  }
+  if (keep == 0) keep = 1;
+
+  Matrix combined(n, n + keep);
+  for (std::size_t j = 0; j < keep; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      combined(i, j) = eig.eigenvectors(i, j);
+    }
+  }
+  // Append the identity; Gram-Schmidt keeps the principal directions first
+  // and fills the remaining dimensions from the spikes.
+  for (std::size_t j = 0; j < n; ++j) combined(j, keep + j) = 1.0;
+  std::size_t rank = 0;
+  Matrix full = orthonormalize_columns(combined, 1e-10, &rank);
+  if (rank != n) {
+    throw std::runtime_error("pca_basis: failed to complete basis");
+  }
+  return full;
+}
+
+Matrix make_basis(BasisKind kind, std::size_t n, std::uint64_t seed) {
+  switch (kind) {
+    case BasisKind::kIdentity: return identity_basis(n);
+    case BasisKind::kDct: return dct_basis(n);
+    case BasisKind::kHaar: return haar_basis(n);
+    case BasisKind::kGaussian: return gaussian_basis(n, seed);
+    case BasisKind::kPca:
+      throw std::invalid_argument(
+          "make_basis: PCA basis requires traces; call pca_basis()");
+  }
+  throw std::invalid_argument("make_basis: unknown kind");
+}
+
+Vector analyze(const Matrix& basis, std::span<const double> x) {
+  return basis.transpose_times(x);
+}
+
+Vector synthesize(const Matrix& basis, std::span<const double> alpha) {
+  return basis * alpha;
+}
+
+std::size_t effective_sparsity(const Matrix& basis, std::span<const double> x,
+                               double tol) {
+  const Vector alpha = analyze(basis, x);
+  const double full = norm2(alpha);
+  if (full == 0.0) return 0;
+  // Binary search would need a monotone predicate; the K-term error is
+  // monotone non-increasing in K, so it applies.
+  std::size_t lo = 0, hi = alpha.size();
+  auto err_at = [&](std::size_t k) {
+    const Vector thr = hard_threshold(alpha, k);
+    return norm2(subtract(thr, alpha)) / full;
+  };
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (err_at(mid) <= tol) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+bool is_orthonormal(const Matrix& b, double tol) {
+  if (b.rows() != b.cols()) return false;
+  const Matrix g = b.gram();
+  const Matrix i = Matrix::identity(b.cols());
+  return approx_equal(g, i, tol);
+}
+
+}  // namespace sensedroid::linalg

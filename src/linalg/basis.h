@@ -1,0 +1,79 @@
+// Orthonormal sparsifying bases Phi (eq. 2).  The paper calls out FFT/DCT
+// explicitly and additionally motivates exploiting "prior available data of
+// different regions" — that is the PCA (Karhunen-Loeve) basis built from a
+// trace matrix of historical fields.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace sensedroid::linalg {
+
+/// The family of sparsifying bases SenseDroid brokers can deploy per zone.
+enum class BasisKind : std::uint8_t {
+  kIdentity,   ///< spike basis — signals sparse in the sample domain
+  kDct,        ///< DCT-II, the workhorse for smooth spatial fields
+  kHaar,       ///< Haar wavelet — piecewise-constant fields, fire fronts
+  kGaussian,   ///< orthonormalized Gaussian random basis
+  kPca,        ///< data-driven basis from prior traces (needs training data)
+};
+
+/// Human-readable name ("dct", "haar", ...).
+std::string to_string(BasisKind kind);
+
+/// N x N orthonormal DCT-II matrix: Phi[k][n] = c(k) cos(pi (2n+1) k / 2N).
+/// Columns of the *transpose* synthesize; we return the synthesis matrix,
+/// i.e. x = Phi * alpha reconstructs from DCT coefficients.
+Matrix dct_basis(std::size_t n);
+
+/// N x N orthonormal Haar wavelet synthesis matrix.  Throws
+/// std::invalid_argument unless n is a power of two (callers pad).
+Matrix haar_basis(std::size_t n);
+
+/// N x N identity (spike) basis.
+Matrix identity_basis(std::size_t n);
+
+/// N x N orthonormalized Gaussian random basis, deterministic in `seed`.
+Matrix gaussian_basis(std::size_t n, std::uint64_t seed);
+
+/// Kronecker product A (x) B: the (i*rowsB + k, j*colsB + l) entry is
+/// A(i,j) * B(k,l).  Used to assemble separable 2-D bases.
+Matrix kronecker(const Matrix& a, const Matrix& b);
+
+/// Separable 2-D DCT synthesis basis for a width x height field under the
+/// eq.-1 column stacking (x[k] = f[k mod H, k / H]): columns are outer
+/// products of 1-D DCT atoms, i.e. kron(dct_W, dct_H).  Smooth physical
+/// fields are far sparser here than in the 1-D DCT of the stacked vector,
+/// which ignores the 2-D neighborhood structure.
+Matrix dct2_basis(std::size_t width, std::size_t height);
+
+/// Data-driven PCA basis from a trace matrix X (T traces x N grid points),
+/// the paper's "prior available data" Gamma = {x_1..x_T}: columns are the
+/// principal directions of the (mean-removed) traces, padded with an
+/// orthonormal completion so the result is a full N x N orthonormal basis.
+/// Throws std::invalid_argument when X has no rows or columns.
+Matrix pca_basis(const Matrix& traces);
+
+/// Factory dispatching on kind; PCA is not constructible here (needs
+/// traces) and throws std::invalid_argument.
+Matrix make_basis(BasisKind kind, std::size_t n, std::uint64_t seed = 0);
+
+/// Forward transform alpha = Phi^T x for an orthonormal basis.
+Vector analyze(const Matrix& basis, std::span<const double> x);
+
+/// Inverse transform x = Phi alpha.
+Vector synthesize(const Matrix& basis, std::span<const double> alpha);
+
+/// Measures how compressible x is in the basis: the smallest K such that
+/// the best K-term approximation achieves relative L2 error <= tol.
+std::size_t effective_sparsity(const Matrix& basis, std::span<const double> x,
+                               double tol = 0.05);
+
+/// True when B^T B == I within `tol` (orthonormality check used by tests
+/// and by brokers validating a freshly trained PCA basis).
+bool is_orthonormal(const Matrix& b, double tol = 1e-9);
+
+}  // namespace sensedroid::linalg

@@ -1,0 +1,398 @@
+#include "linalg/decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/vector_ops.h"
+
+namespace sensedroid::linalg {
+
+// ---------------------------------------------------------------- QR ----
+
+QR::QR(const Matrix& a) : qr_(a), tau_(a.cols(), 0.0) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) {
+    throw std::invalid_argument("QR: requires rows >= cols");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau_[k] = 0.0;
+      continue;
+    }
+    if (qr_(k, k) < 0.0) norm = -norm;
+    for (std::size_t i = k; i < m; ++i) qr_(i, k) /= norm;
+    qr_(k, k) += 1.0;
+    tau_[k] = qr_(k, k);
+    // Apply reflector to remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s = -s / qr_(k, k);
+      for (std::size_t i = k; i < m; ++i) qr_(i, j) += s * qr_(i, k);
+    }
+    // Store R(k,k); the reflector occupies the column below it.
+    qr_(k, k) = -norm;
+    // Re-normalize reflector storage: v(k) implicitly = 1 after division by
+    // the stored head; we keep v in rows k+1..m-1 scaled by the head value.
+    const double head = tau_[k];
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= head;
+    tau_[k] = head;
+  }
+}
+
+void QR::apply_qt(std::span<double> b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    // v = [1, qr_(k+1..m-1, k)], H = I - tau v v^T.
+    double s = b[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * b[i];
+    s *= tau_[k];
+    b[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) b[i] -= s * qr_(i, k);
+  }
+}
+
+Vector QR::solve(std::span<const double> b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (b.size() != m) {
+    throw std::invalid_argument("QR::solve: size mismatch");
+  }
+  if (!full_rank()) {
+    throw std::runtime_error("QR::solve: numerically rank-deficient");
+  }
+  Vector y(b.begin(), b.end());
+  apply_qt(y);
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= qr_(ii, j) * x[j];
+    x[ii] = s / qr_(ii, ii);
+  }
+  return x;
+}
+
+bool QR::full_rank(double tol) const noexcept {
+  double maxd = 0.0;
+  for (std::size_t i = 0; i < qr_.cols(); ++i) {
+    maxd = std::max(maxd, std::abs(qr_(i, i)));
+  }
+  if (maxd == 0.0) return false;
+  for (std::size_t i = 0; i < qr_.cols(); ++i) {
+    if (std::abs(qr_(i, i)) <= tol * maxd) return false;
+  }
+  return true;
+}
+
+double QR::diag_ratio() const noexcept {
+  if (qr_.cols() == 0) return 0.0;
+  double mind = std::numeric_limits<double>::infinity();
+  double maxd = 0.0;
+  for (std::size_t i = 0; i < qr_.cols(); ++i) {
+    const double d = std::abs(qr_(i, i));
+    mind = std::min(mind, d);
+    maxd = std::max(maxd, d);
+  }
+  return maxd > 0.0 ? mind / maxd : 0.0;
+}
+
+// ---------------------------------------------------------- Cholesky ----
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          throw std::runtime_error("Cholesky: matrix not positive definite");
+        }
+        l_(i, i) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+}
+
+Vector Cholesky::forward(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("Cholesky::forward: size mismatch");
+  }
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  Vector y = forward(b);
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+// ------------------------------------------------------- Jacobi eigen ----
+
+EigenResult jacobi_eigen(const Matrix& a_in, double tol,
+                         std::size_t max_sweeps) {
+  if (a_in.rows() != a_in.cols()) {
+    throw std::invalid_argument("jacobi_eigen: matrix must be square");
+  }
+  const std::size_t n = a_in.rows();
+  Matrix a = a_in;
+  Matrix v = Matrix::identity(n);
+  const double scale = std::max(a.max_abs(), 1e-300);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (std::sqrt(off) <= tol * scale * static_cast<double>(n)) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= tol * scale) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenResult res;
+  res.eigenvalues.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.eigenvalues[i] = a(i, i);
+  // Sort descending, permuting eigenvectors to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return res.eigenvalues[x] > res.eigenvalues[y];
+  });
+  Vector sorted_w(n);
+  Matrix sorted_v(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_w[j] = res.eigenvalues[order[j]];
+    for (std::size_t i = 0; i < n; ++i) sorted_v(i, j) = v(i, order[j]);
+  }
+  res.eigenvalues = std::move(sorted_w);
+  res.eigenvectors = std::move(sorted_v);
+  return res;
+}
+
+// --------------------------------------------------------- Jacobi SVD ----
+
+SvdResult jacobi_svd(const Matrix& a, double tol, std::size_t max_sweeps) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix u = a;                       // columns rotated in place
+  Matrix v = Matrix::identity(n);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += u(i, p) * u(i, p);
+          aqq += u(i, q) * u(i, q);
+          apq += u(i, p) * u(i, q);
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double uip = u(i, p);
+          const double uiq = u(i, q);
+          u(i, p) = c * uip - s * uiq;
+          u(i, q) = s * uip + c * uiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  SvdResult res;
+  res.s.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += u(i, j) * u(i, j);
+    res.s[j] = std::sqrt(norm);
+  }
+  // Sort descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return res.s[x] > res.s[y]; });
+  Matrix us(m, n);
+  Matrix vs(n, n);
+  Vector ss(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    ss[j] = res.s[src];
+    const double inv = ss[j] > 0.0 ? 1.0 / ss[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) us(i, j) = u(i, src) * inv;
+    for (std::size_t i = 0; i < n; ++i) vs(i, j) = v(i, src);
+  }
+  res.u = std::move(us);
+  res.s = std::move(ss);
+  res.v = std::move(vs);
+  return res;
+}
+
+Matrix pseudo_inverse(const Matrix& a, double rcond) {
+  // For wide matrices pinv(A) = pinv(A^T)^T keeps the SVD tall.
+  if (a.rows() < a.cols()) {
+    return pseudo_inverse(a.transpose(), rcond).transpose();
+  }
+  const SvdResult svd = jacobi_svd(a);
+  const double cutoff = rcond * (svd.s.empty() ? 0.0 : svd.s.front());
+  // pinv = V diag(1/s) U^T.
+  const std::size_t n = a.cols();
+  Matrix vsinv(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double inv = svd.s[j] > cutoff ? 1.0 / svd.s[j] : 0.0;
+    for (std::size_t i = 0; i < n; ++i) vsinv(i, j) = svd.v(i, j) * inv;
+  }
+  return vsinv * svd.u.transpose();
+}
+
+double condition_number(const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) return 0.0;
+  const Matrix& tall = a;
+  const SvdResult svd =
+      a.rows() >= a.cols() ? jacobi_svd(tall) : jacobi_svd(a.transpose());
+  const double smax = svd.s.front();
+  const double smin = svd.s.back();
+  if (smin <= smax * 1e-300 || smin == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return smax / smin;
+}
+
+Vector lu_solve(const Matrix& a, std::span<const double> b) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("lu_solve: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("lu_solve: size mismatch");
+  }
+  Matrix lu = a;
+  Vector x(b.begin(), b.end());
+  std::vector<std::size_t> piv(n);
+  std::iota(piv.begin(), piv.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t p = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(lu(i, k)) > std::abs(lu(p, k))) p = i;
+    }
+    if (std::abs(lu(p, k)) < 1e-300) {
+      throw std::runtime_error("lu_solve: singular matrix");
+    }
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(p, j), lu(k, j));
+      std::swap(x[p], x[k]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu(i, k) /= lu(k, k);
+      const double f = lu(i, k);
+      if (f == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= f * lu(k, j);
+      x[i] -= f * x[k];
+    }
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu(ii, j) * x[j];
+    x[ii] /= lu(ii, ii);
+  }
+  return x;
+}
+
+Matrix orthonormalize_columns(const Matrix& a, double tol,
+                              std::size_t* rank_out) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  std::vector<Vector> basis;
+  basis.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector v = a.col(j);
+    const double orig = norm2(v);
+    // Two-pass modified Gram-Schmidt for numerical stability.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Vector& q : basis) {
+        const double proj = dot(v, q);
+        axpy(-proj, q, v);
+      }
+    }
+    const double nrm = norm2(v);
+    if (nrm <= tol * std::max(orig, 1.0)) continue;  // dependent column
+    for (double& x : v) x /= nrm;
+    basis.push_back(std::move(v));
+  }
+  Matrix q(m, basis.size());
+  for (std::size_t j = 0; j < basis.size(); ++j) {
+    for (std::size_t i = 0; i < m; ++i) q(i, j) = basis[j][i];
+  }
+  if (rank_out != nullptr) *rank_out = basis.size();
+  return q;
+}
+
+}  // namespace sensedroid::linalg

@@ -1,0 +1,105 @@
+// Matrix factorizations used by the CS solvers:
+//  - Householder QR     -> least-squares / OLS (eq. 11)
+//  - Cholesky           -> GLS whitening and SPD solves (eq. 12)
+//  - Jacobi eigenvalues -> PCA bases from prior traces, condition numbers
+//  - One-sided Jacobi SVD -> pseudo-inverse (eq. 6) and kappa for the
+//    conditioning error term epsilon_c of Section 4.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "linalg/matrix.h"
+
+namespace sensedroid::linalg {
+
+/// Householder QR factorization A = Q R of an m x n matrix, m >= n.
+/// Stores Q implicitly as Householder reflectors; supports solving
+/// least-squares problems min ||A x - b||_2 without forming Q.
+class QR {
+ public:
+  /// Factorizes A.  Throws std::invalid_argument if A.rows() < A.cols().
+  explicit QR(const Matrix& a);
+
+  /// Solves min ||A x - b||_2; throws std::invalid_argument on size
+  /// mismatch, std::runtime_error if A is numerically rank-deficient.
+  Vector solve(std::span<const double> b) const;
+
+  /// True when all |R(i,i)| exceed `tol * max|R(i,i)|`.
+  bool full_rank(double tol = 1e-12) const noexcept;
+
+  /// min |R(i,i)| / max |R(i,i)| — cheap conditioning proxy.
+  double diag_ratio() const noexcept;
+
+  const Matrix& packed() const noexcept { return qr_; }
+
+ private:
+  Matrix qr_;     // R in the upper triangle, reflectors below.
+  Vector tau_;    // Householder scalar factors.
+  void apply_qt(std::span<double> b) const;  // b := Q^T b
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factorizes A.  Throws std::runtime_error if A is not SPD (within
+  /// numerical tolerance) and std::invalid_argument if A is not square.
+  explicit Cholesky(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solves L y = b (forward substitution only).
+  Vector forward(std::span<const double> b) const;
+
+  /// The lower-triangular factor L.
+  const Matrix& lower() const noexcept { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// Result of a symmetric eigen-decomposition: A = V diag(w) V^T with
+/// eigenvalues sorted descending and eigenvectors as columns of V.
+struct EigenResult {
+  Vector eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Cyclic Jacobi eigen-decomposition of a symmetric matrix.
+/// Throws std::invalid_argument if A is not square.
+EigenResult jacobi_eigen(const Matrix& a, double tol = 1e-12,
+                         std::size_t max_sweeps = 64);
+
+/// Thin SVD A = U diag(s) V^T via one-sided Jacobi; singular values sorted
+/// descending.  Works for any m >= 1, n >= 1 (transposes internally if
+/// m < n would hurt convergence is NOT done; callers pass tall or square).
+struct SvdResult {
+  Matrix u;   // m x n
+  Vector s;   // n
+  Matrix v;   // n x n
+};
+SvdResult jacobi_svd(const Matrix& a, double tol = 1e-12,
+                     std::size_t max_sweeps = 64);
+
+/// Moore-Penrose pseudo-inverse via SVD with relative cutoff `rcond`
+/// (eq. 6's dagger operator for possibly ill-conditioned Phi_K).
+Matrix pseudo_inverse(const Matrix& a, double rcond = 1e-12);
+
+/// 2-norm condition number kappa(A) = s_max / s_min (infinity if singular
+/// to working precision).  Feeds the epsilon_c conditioning error term.
+double condition_number(const Matrix& a);
+
+/// Solves a general square system A x = b by partial-pivot LU.
+/// Throws std::runtime_error if A is singular to working precision.
+Vector lu_solve(const Matrix& a, std::span<const double> b);
+
+/// Gram-Schmidt orthonormalization of the columns of A (modified GS,
+/// two passes).  Returns a matrix whose columns span the same space.
+/// Columns that are numerically dependent are dropped; the optional
+/// output reports how many survive.
+Matrix orthonormalize_columns(const Matrix& a, double tol = 1e-10,
+                              std::size_t* rank_out = nullptr);
+
+}  // namespace sensedroid::linalg

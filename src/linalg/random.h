@@ -1,0 +1,67 @@
+// Deterministic randomness for the whole stack.  Every stochastic choice
+// in SenseDroid — which M of the N nodes a broker telemeters (Section 3),
+// sensor noise draws, mobility — flows through this Rng so that every
+// experiment in EXPERIMENTS.md is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sensedroid::linalg {
+
+/// Small, fast, deterministic PRNG (xoshiro256** core) with the sampling
+/// helpers the CS stack needs.  Copyable; copies continue independently.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds give identical streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n); n must be positive.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Standard normal via Marsaglia polar method.
+  double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed draw with the given rate (> 0).
+  double exponential(double rate);
+
+  /// k distinct indices sampled uniformly from [0, n), sorted ascending —
+  /// the broker's random spatial sampling of sensor locations L (Fig. 2).
+  /// Throws std::invalid_argument if k > n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Vector of n iid standard normals.
+  Vector gaussian_vector(std::size_t n);
+
+  /// Derives an independent child stream (for per-node generators).
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace sensedroid::linalg

@@ -1,0 +1,156 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sensedroid::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double norm1(std::span<const double> v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc += std::abs(x);
+  return acc;
+}
+
+double norm_inf(std::span<const double> v) noexcept {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::size_t norm0(std::span<const double> v, double tol) noexcept {
+  std::size_t n = 0;
+  for (double x : v) {
+    if (std::abs(x) > tol) ++n;
+  }
+  return n;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("axpy: size mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vector subtract(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("subtract: size mismatch");
+  }
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector add(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("add: size mismatch");
+  }
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector scaled(std::span<const double> v, double s) {
+  Vector out(v.begin(), v.end());
+  for (double& x : out) x *= s;
+  return out;
+}
+
+double rmse(std::span<const double> estimate, std::span<const double> truth) {
+  if (estimate.size() != truth.size()) {
+    throw std::invalid_argument("rmse: size mismatch");
+  }
+  if (estimate.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < estimate.size(); ++i) {
+    const double d = estimate[i] - truth[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(estimate.size()));
+}
+
+double nrmse(std::span<const double> estimate, std::span<const double> truth) {
+  const double e = rmse(estimate, truth);
+  if (truth.empty()) return e;
+  const double denom =
+      norm2(truth) / std::sqrt(static_cast<double>(truth.size()));
+  return denom > 0.0 ? e / denom : e;
+}
+
+double relative_error(std::span<const double> estimate,
+                      std::span<const double> truth) {
+  const double diff = norm2(subtract(estimate, truth));
+  const double denom = norm2(truth);
+  return denom > 0.0 ? diff / denom : diff;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  if (a.empty()) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double xa = a[i] - ma;
+    const double xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+double mean(std::span<const double> v) noexcept {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) noexcept {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+std::vector<std::size_t> top_k_by_magnitude(std::span<const double> v,
+                                            std::size_t k) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  k = std::min(k, v.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      return std::abs(v[a]) > std::abs(v[b]);
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+Vector hard_threshold(std::span<const double> v, std::size_t k) {
+  Vector out(v.size(), 0.0);
+  for (std::size_t i : top_k_by_magnitude(v, k)) out[i] = v[i];
+  return out;
+}
+
+}  // namespace sensedroid::linalg

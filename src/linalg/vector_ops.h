@@ -1,0 +1,69 @@
+// Free functions on dense vectors: norms, inner products, and the error
+// metrics used throughout the paper's reconstruction experiments (Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sensedroid::linalg {
+
+/// Inner product <a, b>; throws std::invalid_argument on size mismatch.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean (L2) norm.
+double norm2(std::span<const double> v) noexcept;
+
+/// L1 norm: sum of absolute values (the objective of eq. 9).
+double norm1(std::span<const double> v) noexcept;
+
+/// L-infinity norm: max absolute value.
+double norm_inf(std::span<const double> v) noexcept;
+
+/// "L0 norm" of the paper (eq. 8): number of entries with |x| > tol.
+std::size_t norm0(std::span<const double> v, double tol = 1e-12) noexcept;
+
+/// y += alpha * x; throws std::invalid_argument on size mismatch.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Elementwise a - b.
+Vector subtract(std::span<const double> a, std::span<const double> b);
+
+/// Elementwise a + b.
+Vector add(std::span<const double> a, std::span<const double> b);
+
+/// Elementwise scale.
+Vector scaled(std::span<const double> v, double s);
+
+/// Root-mean-square error between a reconstruction and ground truth.
+double rmse(std::span<const double> estimate, std::span<const double> truth);
+
+/// RMSE normalized by the RMS of the truth: the "reconstruction error"
+/// metric of Fig. 4 (0 = perfect; 1 = as large as the signal itself).
+/// Returns rmse when the truth is identically zero.
+double nrmse(std::span<const double> estimate, std::span<const double> truth);
+
+/// Relative L2 error ||e - t||_2 / ||t||_2 (returns ||e||_2 if ||t|| = 0).
+double relative_error(std::span<const double> estimate,
+                      std::span<const double> truth);
+
+/// Sample Pearson correlation coefficient; 0 when either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Arithmetic mean (0 for empty input).
+double mean(std::span<const double> v) noexcept;
+
+/// Population variance (0 for empty input).
+double variance(std::span<const double> v) noexcept;
+
+/// Indices of the k largest |v[i]|, in descending magnitude order.
+std::vector<std::size_t> top_k_by_magnitude(std::span<const double> v,
+                                            std::size_t k);
+
+/// Keeps the k largest-magnitude entries of v and zeroes the rest
+/// (hard-thresholding used when forming K-sparse approximations, eq. 5).
+Vector hard_threshold(std::span<const double> v, std::size_t k);
+
+}  // namespace sensedroid::linalg

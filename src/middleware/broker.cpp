@@ -1,0 +1,92 @@
+#include "middleware/broker.h"
+
+namespace sensedroid::middleware {
+
+GatherStats& GatherStats::operator+=(const GatherStats& rhs) noexcept {
+  commands_sent += rhs.commands_sent;
+  replies_received += rhs.replies_received;
+  radio_failures += rhs.radio_failures;
+  node_refusals += rhs.node_refusals;
+  bytes_transferred += rhs.bytes_transferred;
+  broker_energy_j += rhs.broker_energy_j;
+  return *this;
+}
+
+Broker::Broker(NodeId id, sim::Point position, sim::LinkModel link)
+    : id_(id), position_(position), link_(link), queries_(store_) {}
+
+bool Broker::enroll(const MobileNode& node) {
+  const auto caps = node.advertise();
+  if (!caps.has_value()) return false;
+  registry_.join(*caps);
+  return true;
+}
+
+std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
+                                     sensing::SensorKind kind,
+                                     std::size_t sample_index,
+                                     linalg::Rng& rng, GatherStats* stats,
+                                     double timestamp) {
+  GatherStats local;
+  std::vector<Reading> readings;
+  readings.reserve(nodes.size());
+
+  for (MobileNode* node : nodes) {
+    if (node == nullptr) continue;
+    const double dist = sim::distance(position_, node->position());
+
+    // Command leg: broker TX, node RX.
+    ++local.commands_sent;
+    const double cmd_e = link_.tx_energy_j(kCommandBytes);
+    meter_.add(sim::EnergyCategory::kTx, cmd_e);
+    local.broker_energy_j += cmd_e;
+    local.bytes_transferred += kCommandBytes;
+    if (!link_.delivery_succeeds(dist, rng)) {
+      ++local.radio_failures;
+      continue;
+    }
+    node->pay_rx(kCommandBytes);
+
+    // Local measurement on the node.
+    const auto value = node->measure(kind, sample_index);
+    if (!value.has_value()) {
+      ++local.node_refusals;
+      continue;
+    }
+
+    // Reply leg: node TX, broker RX.
+    node->pay_tx(kReplyBytes);
+    local.bytes_transferred += kReplyBytes;
+    if (!node->link().delivery_succeeds(dist, rng)) {
+      ++local.radio_failures;
+      continue;
+    }
+    const double rx_e = link_.rx_energy_j(kReplyBytes);
+    meter_.add(sim::EnergyCategory::kRx, rx_e);
+    local.broker_energy_j += rx_e;
+
+    ++local.replies_received;
+    readings.push_back(Reading{
+        node->id(), *value, node->sensor_sigma(kind).value_or(0.0)});
+    // Ingest through the query service so standing filters fire as data
+    // arrives (and the record lands in the store).
+    queries_.ingest(Record{node->id(), kind, timestamp, *value});
+  }
+
+  if (stats != nullptr) *stats += local;
+  return readings;
+}
+
+void Broker::disseminate(std::span<const Reading> readings,
+                         sensing::SensorKind kind, double timestamp) {
+  // Collection already ingested the records into the store/queries; here
+  // they fan out to pub/sub collaborators ("dissemination of collective
+  // information", Fig. 2).
+  for (const Reading& r : readings) {
+    const Record rec{r.node, kind, timestamp, r.value};
+    bus_.publish(Message{"sensor/" + sensing::to_string(kind), r.node,
+                         timestamp, rec});
+  }
+}
+
+}  // namespace sensedroid::middleware

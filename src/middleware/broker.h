@@ -1,0 +1,94 @@
+// The NanoCloud broker (Fig. 2): orchestrates the nodes of its cloud —
+// discovery, measurement telemetry, logging, query, and dissemination.
+//
+// "The broker performs stochastic (random) spatial sampling in various
+// nodes ... the broker initiates these measurements by commanding and
+// telemetering the selected nodes with the sensor."
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/random.h"
+#include "middleware/datastore.h"
+#include "middleware/discovery.h"
+#include "middleware/node.h"
+#include "middleware/pubsub.h"
+#include "middleware/query.h"
+#include "sim/radio.h"
+
+namespace sensedroid::middleware {
+
+/// Message/energy accounting of one gathering round.
+struct GatherStats {
+  std::size_t commands_sent = 0;
+  std::size_t replies_received = 0;
+  std::size_t radio_failures = 0;   ///< lost commands or replies
+  std::size_t node_refusals = 0;    ///< privacy/battery/absent-sensor
+  std::size_t bytes_transferred = 0;
+  double broker_energy_j = 0.0;     ///< broker-side radio energy
+
+  GatherStats& operator+=(const GatherStats& rhs) noexcept;
+};
+
+/// One successful reading in a round.
+struct Reading {
+  NodeId node = 0;
+  double value = 0.0;
+  double sigma = 0.0;  ///< reporting sensor's noise sigma (for GLS)
+};
+
+/// Broker of one NanoCloud.  Owns the cloud-local middleware services.
+class Broker {
+ public:
+  static constexpr std::size_t kCommandBytes = 32;
+  static constexpr std::size_t kReplyBytes = 32;
+
+  Broker(NodeId id, sim::Point position,
+         sim::LinkModel link = sim::LinkModel::of(sim::RadioKind::kWiFi));
+
+  NodeId id() const noexcept { return id_; }
+  const sim::Point& position() const noexcept { return position_; }
+  void set_position(const sim::Point& p) noexcept { position_ = p; }
+
+  ServiceRegistry& registry() noexcept { return registry_; }
+  const ServiceRegistry& registry() const noexcept { return registry_; }
+  DataStore& store() noexcept { return store_; }
+  QueryService& queries() noexcept { return queries_; }
+  PubSubBus& bus() noexcept { return bus_; }
+  const sim::EnergyMeter& meter() const noexcept { return meter_; }
+
+  /// Registers a node into this cloud (honors the node's privacy policy;
+  /// opted-out nodes are silently skipped).  Returns whether registered.
+  bool enroll(const MobileNode& node);
+
+  /// Commands each listed node to measure `kind` at `sample_index` over
+  /// the radio: command TX -> node, reply TX -> broker, with
+  /// distance-dependent loss on both legs.  Readings that survive are
+  /// returned in node order; stats accumulate into `stats` when provided.
+  std::vector<Reading> collect(std::span<MobileNode*> nodes,
+                               sensing::SensorKind kind,
+                               std::size_t sample_index,
+                               linalg::Rng& rng,
+                               GatherStats* stats = nullptr,
+                               double timestamp = 0.0);
+
+  /// Publishes each reading on topic "sensor/<kind>" for pub/sub
+  /// collaborators.  (Continuous queries already fired during collect(),
+  /// which ingests every reading into the store/query service.)
+  void disseminate(std::span<const Reading> readings,
+                   sensing::SensorKind kind, double timestamp);
+
+ private:
+  NodeId id_;
+  sim::Point position_;
+  sim::LinkModel link_;
+  ServiceRegistry registry_;
+  DataStore store_;
+  QueryService queries_;
+  PubSubBus bus_;
+  sim::EnergyMeter meter_;
+};
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,71 @@
+#include "middleware/collaboration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace sensedroid::middleware {
+
+SensorSharingService::SensorSharingService(Broker& broker)
+    : SensorSharingService(broker, Params{}) {}
+
+SensorSharingService::SensorSharingService(Broker& broker,
+                                           const Params& params)
+    : broker_(broker), params_(params) {}
+
+std::optional<BorrowedReading> SensorSharingService::borrow(
+    sensing::SensorKind kind, const sim::Point& where, double now) const {
+  // Freshest record per reporting node within the age window.
+  RecordFilter fresh;
+  fresh.sensor = kind;
+  fresh.t_min = now - params_.max_age_s;
+  fresh.t_max = now;
+  std::unordered_map<NodeId, Record> latest;
+  broker_.store().for_each(fresh, [&](const Record& r) {
+    auto [it, inserted] = latest.try_emplace(r.node, r);
+    if (!inserted && r.timestamp > it->second.timestamp) it->second = r;
+  });
+  if (latest.empty()) return std::nullopt;
+
+  // Rank by distance using the registry's last-known positions; nodes the
+  // registry no longer knows are skipped (they left the cloud).
+  struct Scored {
+    double dist;
+    Record record;
+  };
+  std::vector<Scored> in_range;
+  for (const auto& [node, record] : latest) {
+    const auto caps = broker_.registry().find(node);
+    if (!caps.has_value()) continue;
+    const double d = sim::distance(caps->position, where);
+    if (d <= params_.max_range_m) in_range.push_back({d, record});
+  }
+  if (in_range.empty()) return std::nullopt;
+  std::sort(in_range.begin(), in_range.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.dist < b.dist ||
+                     (a.dist == b.dist && a.record.node < b.record.node);
+            });
+  if (in_range.size() > params_.k_nearest) {
+    in_range.resize(params_.k_nearest);
+  }
+
+  // Inverse-distance-weighted blend.
+  BorrowedReading out;
+  double weight_sum = 0.0;
+  for (const auto& s : in_range) {
+    const double w = 1.0 / (1.0 + s.dist);
+    out.value += w * s.record.value;
+    weight_sum += w;
+    out.newest_timestamp =
+        std::max(out.newest_timestamp, s.record.timestamp);
+  }
+  out.value /= weight_sum;
+  out.contributors = in_range.size();
+  out.reliability =
+      1.0 - 1.0 / (1.0 + static_cast<double>(out.contributors));
+  return out;
+}
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,73 @@
+#include "middleware/datastore.h"
+
+#include <stdexcept>
+
+namespace sensedroid::middleware {
+
+bool RecordFilter::matches(const Record& r) const noexcept {
+  if (node.has_value() && r.node != *node) return false;
+  if (sensor.has_value() && r.sensor != *sensor) return false;
+  if (r.timestamp < t_min || r.timestamp > t_max) return false;
+  if (value_min.has_value() && r.value < *value_min) return false;
+  if (value_max.has_value() && r.value > *value_max) return false;
+  return true;
+}
+
+DataStore::DataStore(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("DataStore: capacity must be positive");
+  }
+}
+
+void DataStore::insert(const Record& r) {
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    ++evicted_;
+  }
+  records_.push_back(r);
+}
+
+std::vector<Record> DataStore::query(const RecordFilter& filter) const {
+  std::vector<Record> out;
+  for (const Record& r : records_) {
+    if (filter.matches(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t DataStore::count(const RecordFilter& filter) const {
+  std::size_t n = 0;
+  for (const Record& r : records_) {
+    if (filter.matches(r)) ++n;
+  }
+  return n;
+}
+
+std::optional<Record> DataStore::latest(const RecordFilter& filter) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (filter.matches(*it)) return *it;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> DataStore::mean_value(const RecordFilter& filter) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Record& r : records_) {
+    if (filter.matches(r)) {
+      sum += r.value;
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+void DataStore::for_each(const RecordFilter& filter,
+                         const std::function<void(const Record&)>& fn) const {
+  for (const Record& r : records_) {
+    if (filter.matches(r)) fn(r);
+  }
+}
+
+}  // namespace sensedroid::middleware

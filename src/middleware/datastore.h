@@ -1,0 +1,81 @@
+// Data logging and retrieval ("interface to a light weight database such
+// as SQLite for data logging and efficient sensor data processing and
+// storing").  The storage engine is an in-memory table with predicate
+// queries and ring-buffer retention — the API surface the paper describes,
+// minus the on-disk format (DESIGN.md substitution table).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sensing/sensor.h"
+
+namespace sensedroid::middleware {
+
+/// Identifier of a mobile node within a deployment.
+using NodeId = std::uint32_t;
+
+/// One logged sensor reading.
+struct Record {
+  NodeId node = 0;
+  sensing::SensorKind sensor = sensing::SensorKind::kAccelerometer;
+  double timestamp = 0.0;  ///< simulation seconds
+  double value = 0.0;
+};
+
+/// Declarative record filter: unset fields match everything.
+struct RecordFilter {
+  std::optional<NodeId> node;
+  std::optional<sensing::SensorKind> sensor;
+  double t_min = -std::numeric_limits<double>::infinity();
+  double t_max = std::numeric_limits<double>::infinity();
+  std::optional<double> value_min;
+  std::optional<double> value_max;
+
+  bool matches(const Record& r) const noexcept;
+};
+
+/// Bounded in-memory record log.
+class DataStore {
+ public:
+  /// `capacity` caps retained records; the oldest are evicted first
+  /// (ring-buffer retention).  Throws std::invalid_argument when 0.
+  explicit DataStore(std::size_t capacity = 100000);
+
+  /// Appends a record, evicting the oldest when full.
+  void insert(const Record& r);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t evicted() const noexcept { return evicted_; }
+
+  /// All records matching a filter, in insertion order.
+  std::vector<Record> query(const RecordFilter& filter) const;
+
+  /// Count matching without materializing.
+  std::size_t count(const RecordFilter& filter) const;
+
+  /// Most recent record matching the filter, if any.
+  std::optional<Record> latest(const RecordFilter& filter) const;
+
+  /// Mean value over matching records (nullopt when none match).
+  std::optional<double> mean_value(const RecordFilter& filter) const;
+
+  /// Applies `fn` to every matching record (streaming scan).
+  void for_each(const RecordFilter& filter,
+                const std::function<void(const Record&)>& fn) const;
+
+  void clear() noexcept { records_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::size_t evicted_ = 0;
+  std::deque<Record> records_;
+};
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,78 @@
+#include "middleware/discovery.h"
+
+#include <algorithm>
+
+namespace sensedroid::middleware {
+
+namespace {
+bool has_kind(const NodeCapabilities& caps, sensing::SensorKind kind) {
+  return std::find(caps.sensors.begin(), caps.sensors.end(), kind) !=
+         caps.sensors.end();
+}
+}  // namespace
+
+void ServiceRegistry::join(const NodeCapabilities& caps) {
+  nodes_[caps.node] = caps;
+}
+
+bool ServiceRegistry::leave(NodeId node) { return nodes_.erase(node) == 1; }
+
+bool ServiceRegistry::update_position(NodeId node, const sim::Point& p) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return false;
+  it->second.position = p;
+  return true;
+}
+
+std::optional<NodeCapabilities> ServiceRegistry::find(NodeId node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeCapabilities> ServiceRegistry::with_sensor(
+    sensing::SensorKind kind, std::optional<sim::Point> near) const {
+  std::vector<NodeCapabilities> out;
+  for (const auto& [id, caps] : nodes_) {
+    if (has_kind(caps, kind)) out.push_back(caps);
+  }
+  if (near.has_value()) {
+    std::sort(out.begin(), out.end(),
+              [&](const NodeCapabilities& a, const NodeCapabilities& b) {
+                const double da = sim::distance(a.position, *near);
+                const double db = sim::distance(b.position, *near);
+                return da < db || (da == db && a.node < b.node);
+              });
+  } else {
+    std::sort(out.begin(), out.end(),
+              [](const NodeCapabilities& a, const NodeCapabilities& b) {
+                return a.node < b.node;
+              });
+  }
+  return out;
+}
+
+std::vector<NodeCapabilities> ServiceRegistry::with_sensor_in_range(
+    sensing::SensorKind kind, const sim::Point& center,
+    double radius_m) const {
+  auto all = with_sensor(kind, center);
+  std::erase_if(all, [&](const NodeCapabilities& c) {
+    return sim::distance(c.position, center) > radius_m;
+  });
+  return all;
+}
+
+std::vector<NodeCapabilities> ServiceRegistry::infrastructure_with(
+    sensing::SensorKind kind) const {
+  std::vector<NodeCapabilities> out;
+  for (const auto& [id, caps] : nodes_) {
+    if (caps.infrastructure && has_kind(caps, kind)) out.push_back(caps);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodeCapabilities& a, const NodeCapabilities& b) {
+              return a.node < b.node;
+            });
+  return out;
+}
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,61 @@
+// Service and capability discovery: the broker learns which nodes carry
+// which sensors (and their quality) so it can select the M measurement
+// nodes for a round — or fall back to infrastructure sensors when "there
+// are not enough sensors in the mobile nodes" (Section 3).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "middleware/datastore.h"
+#include "sensing/sensor.h"
+#include "sim/geometry.h"
+
+namespace sensedroid::middleware {
+
+/// What a node advertises on joining a NanoCloud.
+struct NodeCapabilities {
+  NodeId node = 0;
+  sim::Point position;  ///< possibly privacy-blurred
+  std::vector<sensing::SensorKind> sensors;
+  std::unordered_map<sensing::SensorKind, double> noise_sigma;
+  bool infrastructure = false;  ///< fixed in-situ sensor, not a phone
+};
+
+/// The broker-side registry.
+class ServiceRegistry {
+ public:
+  /// Registers or refreshes a node's advertisement.
+  void join(const NodeCapabilities& caps);
+
+  /// Removes a node; returns false when unknown.
+  bool leave(NodeId node);
+
+  /// Updates a node's position (mobility refresh); false when unknown.
+  bool update_position(NodeId node, const sim::Point& p);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  std::optional<NodeCapabilities> find(NodeId node) const;
+
+  /// All nodes advertising a sensor kind, nearest-first to `near` when
+  /// provided.
+  std::vector<NodeCapabilities> with_sensor(
+      sensing::SensorKind kind,
+      std::optional<sim::Point> near = std::nullopt) const;
+
+  /// Nodes advertising a sensor within `radius_m` of a point.
+  std::vector<NodeCapabilities> with_sensor_in_range(
+      sensing::SensorKind kind, const sim::Point& center,
+      double radius_m) const;
+
+  /// All registered infrastructure sensors with the kind.
+  std::vector<NodeCapabilities> infrastructure_with(
+      sensing::SensorKind kind) const;
+
+ private:
+  std::unordered_map<NodeId, NodeCapabilities> nodes_;
+};
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,65 @@
+#include "middleware/node.h"
+
+#include <utility>
+
+namespace sensedroid::middleware {
+
+MobileNode::MobileNode(NodeId id, sim::Point position, sim::LinkModel link,
+                       sim::Battery battery)
+    : id_(id),
+      position_(position),
+      link_(link),
+      battery_(battery) {}
+
+void MobileNode::add_sensor(sensing::SimulatedSensor sensor) {
+  sensors_.insert_or_assign(sensor.kind(), std::move(sensor));
+}
+
+bool MobileNode::has_sensor(sensing::SensorKind kind) const noexcept {
+  return sensors_.contains(kind);
+}
+
+std::optional<double> MobileNode::sensor_sigma(
+    sensing::SensorKind kind) const {
+  const auto it = sensors_.find(kind);
+  if (it == sensors_.end()) return std::nullopt;
+  return it->second.noise_sigma();
+}
+
+std::optional<NodeCapabilities> MobileNode::advertise() const {
+  if (policy_.opted_out()) return std::nullopt;
+  NodeCapabilities caps;
+  caps.node = id_;
+  caps.position = policy_.blur(position_);
+  for (const auto& [kind, sensor] : sensors_) {
+    if (!policy_.sensor_allowed(kind)) continue;
+    caps.sensors.push_back(kind);
+    caps.noise_sigma[kind] = sensor.noise_sigma();
+  }
+  if (caps.sensors.empty()) return std::nullopt;
+  return caps;
+}
+
+std::optional<double> MobileNode::measure(sensing::SensorKind kind,
+                                          std::size_t sample_index) {
+  if (!policy_.sensor_allowed(kind)) return std::nullopt;
+  const auto it = sensors_.find(kind);
+  if (it == sensors_.end()) return std::nullopt;
+  const double cost = sensing::sample_cost_j(kind);
+  if (!battery_.draw(cost)) return std::nullopt;
+  return it->second.read(sample_index, &meter_);
+}
+
+bool MobileNode::pay_tx(std::size_t bytes) {
+  const double e = link_.tx_energy_j(bytes);
+  meter_.add(sim::EnergyCategory::kTx, e);
+  return battery_.draw(e);
+}
+
+bool MobileNode::pay_rx(std::size_t bytes) {
+  const double e = link_.rx_energy_j(bytes);
+  meter_.add(sim::EnergyCategory::kRx, e);
+  return battery_.draw(e);
+}
+
+}  // namespace sensedroid::middleware

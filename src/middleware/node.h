@@ -1,0 +1,73 @@
+// The mobile node ("thin client", Fig. 2): a phone participating in a
+// NanoCloud.  Owns its sensors, battery, energy meter, privacy policy,
+// and radio; answers the broker's measurement commands.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+#include "middleware/discovery.h"
+#include "middleware/privacy.h"
+#include "sensing/sensor.h"
+#include "sim/energy.h"
+#include "sim/geometry.h"
+#include "sim/radio.h"
+
+namespace sensedroid::middleware {
+
+class MobileNode {
+ public:
+  /// Creates a node with a radio and battery; sensors are added after.
+  MobileNode(NodeId id, sim::Point position,
+             sim::LinkModel link = sim::LinkModel::of(sim::RadioKind::kWiFi),
+             sim::Battery battery = sim::Battery{});
+
+  NodeId id() const noexcept { return id_; }
+  const sim::Point& position() const noexcept { return position_; }
+  void set_position(const sim::Point& p) noexcept { position_ = p; }
+
+  const sim::LinkModel& link() const noexcept { return link_; }
+  const sim::Battery& battery() const noexcept { return battery_; }
+  const sim::EnergyMeter& meter() const noexcept { return meter_; }
+  sim::EnergyMeter& meter() noexcept { return meter_; }
+
+  PrivacyPolicy& policy() noexcept { return policy_; }
+  const PrivacyPolicy& policy() const noexcept { return policy_; }
+
+  /// Installs (or replaces) a sensor of the sensor's kind.
+  void add_sensor(sensing::SimulatedSensor sensor);
+
+  bool has_sensor(sensing::SensorKind kind) const noexcept;
+
+  /// Noise sigma of an installed sensor; nullopt when absent.
+  std::optional<double> sensor_sigma(sensing::SensorKind kind) const;
+
+  /// What this node advertises to a broker — honors the privacy policy
+  /// (disallowed sensors are omitted, position is blurred); nullopt when
+  /// the user opted out entirely.
+  std::optional<NodeCapabilities> advertise() const;
+
+  /// Executes a measurement command locally: samples the sensor at
+  /// `sample_index`, charging battery and meter.  Returns nullopt when the
+  /// sensor is absent, the policy forbids sharing it, or the battery is
+  /// dead.
+  std::optional<double> measure(sensing::SensorKind kind,
+                                std::size_t sample_index);
+
+  /// Charges radio TX/RX energy for `bytes` to battery and meter; returns
+  /// false when the battery died paying for it.
+  bool pay_tx(std::size_t bytes);
+  bool pay_rx(std::size_t bytes);
+
+ private:
+  NodeId id_;
+  sim::Point position_;
+  sim::LinkModel link_;
+  sim::Battery battery_;
+  sim::EnergyMeter meter_;
+  PrivacyPolicy policy_;
+  std::map<sensing::SensorKind, sensing::SimulatedSensor> sensors_;
+};
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,45 @@
+#include "middleware/privacy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sensedroid::middleware {
+
+PrivacyPolicy::PrivacyPolicy() { allowed_.fill(true); }
+
+PrivacyPolicy PrivacyPolicy::opt_out() {
+  PrivacyPolicy p;
+  p.allowed_.fill(false);
+  p.opted_out_ = true;
+  return p;
+}
+
+void PrivacyPolicy::set_sensor_allowed(sensing::SensorKind kind,
+                                       bool allowed) {
+  allowed_[static_cast<std::size_t>(kind)] = allowed;
+}
+
+bool PrivacyPolicy::sensor_allowed(sensing::SensorKind kind) const {
+  return !opted_out_ && allowed_[static_cast<std::size_t>(kind)];
+}
+
+void PrivacyPolicy::set_location_granularity_m(double g) {
+  if (g < 0.0) {
+    throw std::invalid_argument(
+        "PrivacyPolicy: granularity must be non-negative");
+  }
+  granularity_m_ = g;
+}
+
+std::optional<Record> PrivacyPolicy::filter(const Record& r) const {
+  if (!sensor_allowed(r.sensor)) return std::nullopt;
+  return r;
+}
+
+sim::Point PrivacyPolicy::blur(const sim::Point& p) const noexcept {
+  if (granularity_m_ <= 0.0) return p;
+  return {std::round(p.x / granularity_m_) * granularity_m_,
+          std::round(p.y / granularity_m_) * granularity_m_};
+}
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,52 @@
+// Privacy regulation (Section 5): "transparency, full user control ...
+// User can fully set or control their preferences, enable or disable
+// features, control of the type of sensors and parameter that can be
+// shared ... In the worst case, the user can opt-out".
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "middleware/datastore.h"
+#include "sensing/sensor.h"
+#include "sim/geometry.h"
+
+namespace sensedroid::middleware {
+
+/// Per-user sharing policy, applied at the node boundary before anything
+/// leaves the device.
+class PrivacyPolicy {
+ public:
+  /// Default policy: share everything (the user opted in at install).
+  PrivacyPolicy();
+
+  /// Fully opted-out policy: shares nothing.
+  static PrivacyPolicy opt_out();
+
+  /// Enables/disables sharing of one sensor kind.
+  void set_sensor_allowed(sensing::SensorKind kind, bool allowed);
+  bool sensor_allowed(sensing::SensorKind kind) const;
+
+  /// Spatial granularity: positions shared outward are snapped to a grid
+  /// of this size in meters (0 = exact).  Throws on negative.
+  void set_location_granularity_m(double g);
+  double location_granularity_m() const noexcept { return granularity_m_; }
+
+  /// Global opt-out switch.
+  void set_opted_out(bool v) noexcept { opted_out_ = v; }
+  bool opted_out() const noexcept { return opted_out_; }
+
+  /// Applies the policy to an outgoing record: nullopt when the record
+  /// must not leave the device.
+  std::optional<Record> filter(const Record& r) const;
+
+  /// Applies the location granularity to a position.
+  sim::Point blur(const sim::Point& p) const noexcept;
+
+ private:
+  std::array<bool, sensing::kSensorKindCount> allowed_{};
+  double granularity_m_ = 0.0;
+  bool opted_out_ = false;
+};
+
+}  // namespace sensedroid::middleware

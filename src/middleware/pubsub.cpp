@@ -1,0 +1,63 @@
+#include "middleware/pubsub.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sensedroid::middleware {
+
+std::size_t wire_size(const Message& msg) noexcept {
+  constexpr std::size_t kHeader = 24;
+  struct Visitor {
+    std::size_t operator()(double) const noexcept { return 8; }
+    std::size_t operator()(const linalg::Vector& v) const noexcept {
+      return 8 * v.size();
+    }
+    std::size_t operator()(const std::string& s) const noexcept {
+      return s.size();
+    }
+    std::size_t operator()(const Record&) const noexcept {
+      return sizeof(Record);
+    }
+  };
+  return kHeader + msg.topic.size() + std::visit(Visitor{}, msg.payload);
+}
+
+PubSubBus::SubscriptionId PubSubBus::subscribe(const std::string& topic,
+                                               Handler handler) {
+  subs_.push_back(Sub{next_id_, topic, false, std::move(handler)});
+  return next_id_++;
+}
+
+PubSubBus::SubscriptionId PubSubBus::subscribe_prefix(
+    const std::string& prefix, Handler handler) {
+  subs_.push_back(Sub{next_id_, prefix, true, std::move(handler)});
+  return next_id_++;
+}
+
+bool PubSubBus::unsubscribe(SubscriptionId id) {
+  const auto it = std::find_if(subs_.begin(), subs_.end(),
+                               [&](const Sub& s) { return s.id == id; });
+  if (it == subs_.end()) return false;
+  subs_.erase(it);
+  return true;
+}
+
+std::size_t PubSubBus::publish(const Message& msg) {
+  ++published_;
+  std::size_t delivered = 0;
+  // Copy matching handlers first so handlers may (un)subscribe safely.
+  std::vector<Handler> to_run;
+  for (const Sub& s : subs_) {
+    const bool match =
+        s.prefix ? msg.topic.compare(0, s.key.size(), s.key) == 0
+                 : msg.topic == s.key;
+    if (match) to_run.push_back(s.handler);
+  }
+  for (const auto& h : to_run) {
+    h(msg);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace sensedroid::middleware

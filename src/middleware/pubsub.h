@@ -1,0 +1,71 @@
+// Topic-based publish/subscribe bus — the "Communication and
+// Collaboration" library of SenseDroid: dissemination of collective
+// information among mobile nodes through the broker (Fig. 2) supports
+// both client-server and peer-to-peer topologies; a shared bus per
+// NanoCloud models the broker-relayed case.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "middleware/datastore.h"
+
+namespace sensedroid::middleware {
+
+/// Message payloads the middleware moves: scalar telemetry, whole sample
+/// vectors (compressive batches), text (control), or a sensor record.
+using Payload = std::variant<double, linalg::Vector, std::string, Record>;
+
+struct Message {
+  std::string topic;
+  NodeId sender = 0;
+  double timestamp = 0.0;
+  Payload payload;
+};
+
+/// Approximate wire size of a message in bytes (for radio cost
+/// accounting): header of 24 B + payload.
+std::size_t wire_size(const Message& msg) noexcept;
+
+/// Synchronous topic bus with exact-topic and prefix subscriptions.
+class PubSubBus {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  using SubscriptionId = std::uint64_t;
+
+  /// Subscribes to an exact topic.  Returns an id for unsubscribe.
+  SubscriptionId subscribe(const std::string& topic, Handler handler);
+
+  /// Subscribes to every topic starting with `prefix` ("sensor/" style
+  /// hierarchical filters).
+  SubscriptionId subscribe_prefix(const std::string& prefix, Handler handler);
+
+  /// Removes a subscription; returns false for unknown ids.
+  bool unsubscribe(SubscriptionId id);
+
+  /// Delivers synchronously to all matching subscribers (subscription
+  /// order).  Returns the number of handlers invoked.
+  std::size_t publish(const Message& msg);
+
+  std::size_t subscription_count() const noexcept { return subs_.size(); }
+  std::size_t published_count() const noexcept { return published_; }
+
+ private:
+  struct Sub {
+    SubscriptionId id;
+    std::string key;
+    bool prefix;
+    Handler handler;
+  };
+  std::vector<Sub> subs_;
+  SubscriptionId next_id_ = 1;
+  std::size_t published_ = 0;
+};
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,56 @@
+#include "middleware/query.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sensedroid::middleware {
+
+QueryService::QueryService(DataStore& store) : store_(store) {}
+
+std::vector<Record> QueryService::query(const RecordFilter& filter) const {
+  return store_.query(filter);
+}
+
+std::size_t QueryService::count(const RecordFilter& filter) const {
+  return store_.count(filter);
+}
+
+std::optional<double> QueryService::mean(const RecordFilter& filter) const {
+  return store_.mean_value(filter);
+}
+
+std::optional<Record> QueryService::latest(const RecordFilter& filter) const {
+  return store_.latest(filter);
+}
+
+QueryService::ContinuousId QueryService::subscribe(const RecordFilter& filter,
+                                                   Handler handler) {
+  continuous_.push_back(Continuous{next_id_, filter, std::move(handler)});
+  return next_id_++;
+}
+
+bool QueryService::unsubscribe(ContinuousId id) {
+  const auto it =
+      std::find_if(continuous_.begin(), continuous_.end(),
+                   [&](const Continuous& c) { return c.id == id; });
+  if (it == continuous_.end()) return false;
+  continuous_.erase(it);
+  return true;
+}
+
+std::size_t QueryService::ingest(const Record& r) {
+  store_.insert(r);
+  std::size_t notified = 0;
+  // Snapshot handlers so one may unsubscribe during delivery.
+  std::vector<Handler> to_run;
+  for (const Continuous& c : continuous_) {
+    if (c.filter.matches(r)) to_run.push_back(c.handler);
+  }
+  for (const auto& h : to_run) {
+    h(r);
+    ++notified;
+  }
+  return notified;
+}
+
+}  // namespace sensedroid::middleware

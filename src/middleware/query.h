@@ -1,0 +1,61 @@
+// On-demand query and filtering ("SenseDroid supports on-demand query and
+// filtering functionality from different participating users.  Filtering
+// helps deliver only the relevant information to collaborating users.")
+//
+// Two forms:
+//   - one-shot queries against the broker's DataStore (history), and
+//   - continuous queries: a standing RecordFilter + callback that sees
+//     only matching records as they arrive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "middleware/datastore.h"
+
+namespace sensedroid::middleware {
+
+/// Standing-query service layered on a DataStore.
+class QueryService {
+ public:
+  using ContinuousId = std::uint64_t;
+  using Handler = std::function<void(const Record&)>;
+
+  /// `store` must outlive the service.
+  explicit QueryService(DataStore& store);
+
+  /// One-shot history query.
+  std::vector<Record> query(const RecordFilter& filter) const;
+
+  /// Aggregate forms.
+  std::size_t count(const RecordFilter& filter) const;
+  std::optional<double> mean(const RecordFilter& filter) const;
+  std::optional<Record> latest(const RecordFilter& filter) const;
+
+  /// Registers a continuous query; `handler` fires for each future record
+  /// matching `filter`.
+  ContinuousId subscribe(const RecordFilter& filter, Handler handler);
+
+  /// Cancels a continuous query; false when unknown.
+  bool unsubscribe(ContinuousId id);
+
+  /// Ingests a record: stores it and fans it out to matching continuous
+  /// queries.  Returns the number of continuous handlers notified.
+  std::size_t ingest(const Record& r);
+
+  std::size_t continuous_count() const noexcept { return continuous_.size(); }
+
+ private:
+  struct Continuous {
+    ContinuousId id;
+    RecordFilter filter;
+    Handler handler;
+  };
+  DataStore& store_;
+  std::vector<Continuous> continuous_;
+  ContinuousId next_id_ = 1;
+};
+
+}  // namespace sensedroid::middleware

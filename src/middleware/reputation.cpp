@@ -1,0 +1,45 @@
+#include "middleware/reputation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sensedroid::middleware {
+
+ReputationTracker::ReputationTracker() : ReputationTracker(Params{}) {}
+
+ReputationTracker::ReputationTracker(const Params& params)
+    : params_(params) {}
+
+double ReputationTracker::update(NodeId node, double reading,
+                                 double consensus, double sigma) {
+  const double s = std::max(sigma, 1e-6);
+  const double z = std::abs(reading - consensus) / s;
+  // Consistency of this single observation: 1 at z=0, 0.5 at z=tolerance,
+  // -> 0 as z grows (logistic in z/tolerance).
+  const double consistency =
+      1.0 / (1.0 + std::pow(z / params_.tolerance, 2.0));
+  auto [it, inserted] = scores_.try_emplace(node, 1.0);
+  it->second = params_.memory * it->second +
+               (1.0 - params_.memory) * consistency;
+  return it->second;
+}
+
+double ReputationTracker::score(NodeId node) const {
+  const auto it = scores_.find(node);
+  return it == scores_.end() ? 1.0 : it->second;
+}
+
+std::vector<NodeId> ReputationTracker::flagged() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, s] : scores_) {
+    if (s < params_.flag_threshold) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+    const double sa = scores_.at(a);
+    const double sb = scores_.at(b);
+    return sa < sb || (sa == sb && a < b);
+  });
+  return out;
+}
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,52 @@
+// Data-quality reputation: the broker can score each phone by how well
+// its readings agree with the reconstructed field at its location — the
+// reconstruction is the crowd's consensus, so persistent disagreement
+// marks a faulty or malicious sensor.  The scores feed the reputation-
+// weighted node selection (scheduling::SelectionPolicy::kReputationWeighted)
+// and recruitment (incentives::recruit_greedy), closing the quality loop.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "middleware/datastore.h"
+
+namespace sensedroid::middleware {
+
+/// Exponential-moving-average consistency tracker.
+class ReputationTracker {
+ public:
+  struct Params {
+    /// EMA factor: weight of history per update (0.9 = slow to forgive).
+    double memory = 0.9;
+    /// Disagreements are normalized by the declared sensor sigma; a
+    /// residual of `tolerance` sigmas scores 0.5.
+    double tolerance = 3.0;
+    /// Score below which a node is flagged as suspect.
+    double flag_threshold = 0.3;
+  };
+
+  ReputationTracker();
+  explicit ReputationTracker(const Params& params);
+
+  /// Feeds one observation: the node reported `reading` where the
+  /// consensus reconstruction says `consensus`, with declared noise
+  /// `sigma` (> 0; clamped to a small floor otherwise).  Returns the
+  /// node's updated score in [0, 1].
+  double update(NodeId node, double reading, double consensus, double sigma);
+
+  /// Current score; unseen nodes start at 1 (benefit of the doubt).
+  double score(NodeId node) const;
+
+  /// Nodes currently below the flag threshold, ascending by score.
+  std::vector<NodeId> flagged() const;
+
+  std::size_t observed_nodes() const noexcept { return scores_.size(); }
+
+ private:
+  Params params_;
+  std::unordered_map<NodeId, double> scores_;
+};
+
+}  // namespace sensedroid::middleware

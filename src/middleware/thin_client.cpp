@@ -1,0 +1,95 @@
+#include "middleware/thin_client.h"
+
+#include "linalg/random.h"
+
+namespace sensedroid::middleware {
+
+ThinClient::ThinClient(MobileNode& node) : node_(node) {}
+
+std::optional<std::vector<std::uint8_t>> ThinClient::handle(
+    std::span<const std::uint8_t> frame, double now) {
+  const auto cmd = decode_message(frame);
+  if (!cmd.has_value()) return std::nullopt;  // corrupt frame
+  // Radio RX cost of the command itself.
+  if (!node_.pay_rx(frame.size())) {
+    ++refused_;
+    return std::nullopt;  // battery died receiving
+  }
+  const auto reply = execute(*cmd, now);
+  if (!reply.has_value()) {
+    ++refused_;
+    return std::nullopt;
+  }
+  ++handled_;
+  auto encoded = encode_message(*reply);
+  if (!node_.pay_tx(encoded.size())) {
+    ++refused_;
+    return std::nullopt;  // battery died transmitting
+  }
+  return encoded;
+}
+
+std::optional<Message> ThinClient::execute(const Message& cmd, double now) {
+  if (cmd.topic == "cmd/measure") {
+    const auto* rec = std::get_if<Record>(&cmd.payload);
+    if (rec == nullptr) return std::nullopt;
+    const auto sample_index = static_cast<std::size_t>(rec->timestamp);
+    const auto value = node_.measure(rec->sensor, sample_index);
+    if (!value.has_value()) return std::nullopt;
+    return Message{"sensor/" + sensing::to_string(rec->sensor), node_.id(),
+                   now, Record{node_.id(), rec->sensor, now, *value}};
+  }
+  if (cmd.topic == "cmd/advertise") {
+    const auto caps = node_.advertise();
+    if (!caps.has_value()) return std::nullopt;
+    linalg::Vector kinds;
+    kinds.reserve(caps->sensors.size());
+    for (auto k : caps->sensors) {
+      kinds.push_back(static_cast<double>(k));
+    }
+    return Message{"node/capabilities", node_.id(), now, std::move(kinds)};
+  }
+  if (cmd.topic == "cmd/window") {
+    const auto* rec = std::get_if<Record>(&cmd.payload);
+    if (rec == nullptr) return std::nullopt;
+    const auto window = static_cast<std::size_t>(rec->timestamp);
+    const auto budget = static_cast<std::size_t>(rec->value);
+    if (window == 0 || budget == 0 || budget > window) return std::nullopt;
+    // Compressive schedule seeded by node id + time for reproducibility.
+    linalg::Rng rng(node_.id() * 1315423911ull +
+                    static_cast<std::uint64_t>(now * 1000.0));
+    const auto indices = rng.sample_without_replacement(window, budget);
+    linalg::Vector out;
+    out.reserve(2 * budget);
+    for (std::size_t idx : indices) {
+      const auto v = node_.measure(rec->sensor, idx);
+      if (!v.has_value()) return std::nullopt;
+      out.push_back(static_cast<double>(idx));
+      out.push_back(*v);
+    }
+    return Message{"window/" + sensing::to_string(rec->sensor), node_.id(),
+                   now, std::move(out)};
+  }
+  return std::nullopt;  // unknown command
+}
+
+std::vector<std::uint8_t> make_measure_command(sensing::SensorKind kind,
+                                               std::size_t sample_index) {
+  return encode_message(
+      {"cmd/measure", 0, 0.0,
+       Record{0, kind, static_cast<double>(sample_index), 0.0}});
+}
+
+std::vector<std::uint8_t> make_advertise_command() {
+  return encode_message({"cmd/advertise", 0, 0.0, 0.0});
+}
+
+std::vector<std::uint8_t> make_window_command(sensing::SensorKind kind,
+                                              std::size_t window,
+                                              std::size_t budget) {
+  return encode_message({"cmd/window", 0, 0.0,
+                         Record{0, kind, static_cast<double>(window),
+                                static_cast<double>(budget)}});
+}
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,57 @@
+// The node-side middleware stack of Fig. 2 ("mobile nodes with thin
+// client"): receives encoded broker commands over the radio, executes
+// them against the local node (measure a sensor, report capabilities,
+// run a compressive probe window), and returns encoded replies.
+//
+// Command protocol (topics):
+//   cmd/measure   — payload Record{sensor, timestamp=sample_index}:
+//                   reply sensor/<kind> with the reading;
+//   cmd/advertise — reply node/capabilities with a vector
+//                   [sensor kinds...] the policy allows;
+//   cmd/window    — payload Record{sensor, value=budget,
+//                   timestamp=window}: acquire a compressive window of
+//                   the sensor and reply with the sampled values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "middleware/node.h"
+#include "middleware/wire.h"
+
+namespace sensedroid::middleware {
+
+/// Node-side command executor.
+class ThinClient {
+ public:
+  /// `node` must outlive the client.
+  explicit ThinClient(MobileNode& node);
+
+  /// Handles one encoded command frame end to end: decode (CRC included),
+  /// execute, encode the reply.  Returns nullopt when the frame is
+  /// corrupt, the command unknown, or the node refuses (privacy,
+  /// battery, missing sensor) — the broker sees a radio-equivalent loss.
+  std::optional<std::vector<std::uint8_t>> handle(
+      std::span<const std::uint8_t> frame, double now);
+
+  std::size_t commands_handled() const noexcept { return handled_; }
+  std::size_t commands_refused() const noexcept { return refused_; }
+
+ private:
+  std::optional<Message> execute(const Message& cmd, double now);
+
+  MobileNode& node_;
+  std::size_t handled_ = 0;
+  std::size_t refused_ = 0;
+};
+
+/// Broker-side helpers producing the command frames ThinClient consumes.
+std::vector<std::uint8_t> make_measure_command(sensing::SensorKind kind,
+                                               std::size_t sample_index);
+std::vector<std::uint8_t> make_advertise_command();
+std::vector<std::uint8_t> make_window_command(sensing::SensorKind kind,
+                                              std::size_t window,
+                                              std::size_t budget);
+
+}  // namespace sensedroid::middleware

@@ -1,0 +1,213 @@
+#include "middleware/wire.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace sensedroid::middleware {
+
+namespace {
+
+// Byte-at-a-time CRC-32 with a lazily built table.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+// Bounds-checked reader over the frame.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+  bool ok() const noexcept { return ok_; }
+  std::size_t pos() const noexcept { return pos_; }
+
+  std::uint8_t u8() { return ok_ && need(1) ? data_[pos_++] : fail(); }
+  std::uint16_t u16() {
+    if (!ok_ || !need(2)) return fail();
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!ok_ || !need(4)) return fail();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  double f64() {
+    if (!ok_ || !need(8)) {
+      fail();
+      return 0.0;
+    }
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str(std::size_t len) {
+    if (!ok_ || !need(len)) {
+      fail();
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  bool need(std::size_t n) const noexcept {
+    return pos_ + n <= data_.size();
+  }
+  std::uint8_t fail() {
+    ok_ = false;
+    return 0;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_message(const Message& msg) {
+  if (msg.topic.size() > 0xFFFF) {
+    throw std::invalid_argument("encode_message: topic too long");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + msg.topic.size());
+  put_u16(out, static_cast<std::uint16_t>(msg.topic.size()));
+  out.insert(out.end(), msg.topic.begin(), msg.topic.end());
+  put_u32(out, msg.sender);
+  put_f64(out, msg.timestamp);
+
+  struct Visitor {
+    std::vector<std::uint8_t>& out;
+    void operator()(double v) const {
+      out.push_back(0);
+      put_f64(out, v);
+    }
+    void operator()(const linalg::Vector& v) const {
+      out.push_back(1);
+      put_u32(out, static_cast<std::uint32_t>(v.size()));
+      for (double x : v) put_f64(out, x);
+    }
+    void operator()(const std::string& s) const {
+      out.push_back(2);
+      put_u32(out, static_cast<std::uint32_t>(s.size()));
+      out.insert(out.end(), s.begin(), s.end());
+    }
+    void operator()(const Record& r) const {
+      out.push_back(3);
+      put_u32(out, r.node);
+      out.push_back(static_cast<std::uint8_t>(r.sensor));
+      put_f64(out, r.timestamp);
+      put_f64(out, r.value);
+    }
+  };
+  std::visit(Visitor{out}, msg.payload);
+
+  put_u32(out, crc32(out));
+  return out;
+}
+
+std::optional<Message> decode_message(std::span<const std::uint8_t> frame) {
+  if (frame.size() < 4) return std::nullopt;
+  const std::size_t body_len = frame.size() - 4;
+  // Verify the trailer first: cheap rejection of corrupt frames.
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(frame[body_len + i]) << (8 * i);
+  }
+  if (crc32(frame.first(body_len)) != stored) return std::nullopt;
+
+  Reader r(frame.first(body_len));
+  Message msg;
+  const std::uint16_t topic_len = r.u16();
+  msg.topic = r.str(topic_len);
+  msg.sender = r.u32();
+  msg.timestamp = r.f64();
+  const std::uint8_t tag = r.u8();
+  switch (tag) {
+    case 0:
+      msg.payload = r.f64();
+      break;
+    case 1: {
+      const std::uint32_t count = r.u32();
+      // Guard: the remaining bytes must actually hold `count` doubles.
+      if (!r.ok() || body_len - r.pos() < 8ull * count) return std::nullopt;
+      linalg::Vector v(count);
+      for (auto& x : v) x = r.f64();
+      msg.payload = std::move(v);
+      break;
+    }
+    case 2: {
+      const std::uint32_t len = r.u32();
+      if (!r.ok() || body_len - r.pos() < len) return std::nullopt;
+      msg.payload = r.str(len);
+      break;
+    }
+    case 3: {
+      Record rec;
+      rec.node = r.u32();
+      const std::uint8_t sensor = r.u8();
+      if (sensor >= sensing::kSensorKindCount) return std::nullopt;
+      rec.sensor = static_cast<sensing::SensorKind>(sensor);
+      rec.timestamp = r.f64();
+      rec.value = r.f64();
+      msg.payload = rec;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok() || r.pos() != body_len) return std::nullopt;
+  return msg;
+}
+
+}  // namespace sensedroid::middleware

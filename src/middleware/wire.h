@@ -1,0 +1,34 @@
+// Wire serialization for broker <-> node messages.  The radio models
+// charge per byte, so the byte layout is load-bearing: this codec defines
+// it, and a CRC-32 trailer catches the corruption a lossy link can
+// deliver past the MAC layer.
+//
+// Format (little-endian):
+//   [u16 topic_len][topic bytes][u32 sender][f64 timestamp]
+//   [u8 payload_tag][payload...][u32 crc32 over everything before it]
+// Payload encodings: 0 = f64 scalar; 1 = u32 count + f64s (vector);
+// 2 = u32 len + bytes (string); 3 = Record (u32 node, u8 sensor,
+// f64 timestamp, f64 value).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "middleware/pubsub.h"
+
+namespace sensedroid::middleware {
+
+/// CRC-32 (IEEE 802.3 polynomial) of a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Serializes a message; the result's size is the exact wire footprint.
+/// Throws std::invalid_argument when the topic exceeds 65535 bytes.
+std::vector<std::uint8_t> encode_message(const Message& msg);
+
+/// Parses a frame; returns nullopt when the frame is truncated,
+/// malformed, or fails the CRC — the caller treats it as a radio loss.
+std::optional<Message> decode_message(std::span<const std::uint8_t> frame);
+
+}  // namespace sensedroid::middleware

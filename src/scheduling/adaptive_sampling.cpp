@@ -1,0 +1,63 @@
+#include "scheduling/adaptive_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sensedroid::scheduling {
+
+AdaptiveSampler::AdaptiveSampler(const Params& params)
+    : params_(params), m_(params.m_initial) {
+  if (params.m_min == 0 || params.m_min > params.m_max ||
+      params.m_initial < params.m_min || params.m_initial > params.m_max) {
+    throw std::invalid_argument("AdaptiveSampler: inconsistent budgets");
+  }
+  if (params.grow <= 1.0 || params.target_error <= 0.0 ||
+      params.deadband < 0.0 || params.deadband >= 1.0) {
+    throw std::invalid_argument("AdaptiveSampler: bad control parameters");
+  }
+}
+
+std::size_t AdaptiveSampler::observe(double error) {
+  if (error < 0.0) {
+    throw std::invalid_argument("AdaptiveSampler::observe: negative error");
+  }
+  if (error > params_.target_error) {
+    const auto grown = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(m_) * params_.grow));
+    m_ = std::min(grown, params_.m_max);
+  } else if (error < params_.target_error * (1.0 - params_.deadband)) {
+    m_ = m_ > params_.m_min + params_.shrink ? m_ - params_.shrink
+                                             : params_.m_min;
+  }
+  return m_;
+}
+
+HysteresisDutyCycler::HysteresisDutyCycler(const Params& params)
+    : params_(params) {
+  if (params.lower < 0.0 || params.lower >= params.upper ||
+      params.upper > 1.0) {
+    throw std::invalid_argument(
+        "HysteresisDutyCycler: need 0 <= lower < upper <= 1");
+  }
+}
+
+bool HysteresisDutyCycler::update(double confidence) {
+  if (confidence < params_.lower) {
+    on_ = true;
+    streak_ = 0;
+  } else if (confidence > params_.upper) {
+    if (on_) {
+      ++streak_;
+      if (streak_ >= params_.on_streak) {
+        on_ = false;
+        streak_ = 0;
+      }
+    }
+  } else {
+    streak_ = 0;  // inside the hysteresis band: hold state
+  }
+  return on_;
+}
+
+}  // namespace sensedroid::scheduling

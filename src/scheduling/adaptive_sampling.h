@@ -1,0 +1,70 @@
+// Adaptive sampling controllers (Section 5): tune the per-window
+// measurement budget to the observed reconstruction quality, and duty-
+// cycle expensive sensors with hysteresis so confident contexts shut
+// them off (the ACE/RAPS-style schemes the paper cites).
+#pragma once
+
+#include <cstddef>
+
+namespace sensedroid::scheduling {
+
+/// Multiplicative-increase / additive-decrease budget controller: when
+/// the observed error exceeds the target, the budget grows by `grow`
+/// (fast recovery); when it is comfortably below, the budget shrinks by
+/// `shrink` samples (cautious saving).
+class AdaptiveSampler {
+ public:
+  struct Params {
+    std::size_t m_min = 8;
+    std::size_t m_max = 256;
+    std::size_t m_initial = 64;
+    double target_error = 0.1;   ///< NRMSE the application tolerates
+    double deadband = 0.2;       ///< shrink only below target*(1-deadband)
+    double grow = 1.5;           ///< multiplicative increase factor
+    std::size_t shrink = 4;      ///< additive decrease (samples)
+  };
+
+  /// Throws std::invalid_argument on an inconsistent parameter set
+  /// (m_min > m_max, initial outside the range, grow <= 1, ...).
+  explicit AdaptiveSampler(const Params& params);
+
+  /// Current budget for the next window.
+  std::size_t budget() const noexcept { return m_; }
+
+  /// Feeds the error observed with the current budget; returns the new
+  /// budget.  Errors must be >= 0.
+  std::size_t observe(double error);
+
+ private:
+  Params params_;
+  std::size_t m_;
+};
+
+/// Hysteresis duty-cycler for an expensive sensor gated by a confidence
+/// score: the sensor turns OFF when the score stays above `upper` for
+/// `on_streak` updates and back ON as soon as it dips below `lower`.
+/// The two-threshold gap prevents flapping at the boundary.
+class HysteresisDutyCycler {
+ public:
+  struct Params {
+    double lower = 0.4;
+    double upper = 0.8;
+    std::size_t on_streak = 3;
+  };
+
+  /// Throws std::invalid_argument unless 0 <= lower < upper <= 1.
+  explicit HysteresisDutyCycler(const Params& params);
+
+  /// Feeds one confidence observation; returns whether the sensor should
+  /// be ON for the next window.
+  bool update(double confidence);
+
+  bool is_on() const noexcept { return on_; }
+
+ private:
+  Params params_;
+  bool on_ = true;
+  std::size_t streak_ = 0;
+};
+
+}  // namespace sensedroid::scheduling

@@ -1,0 +1,31 @@
+#include "scheduling/multi_radio.h"
+
+namespace sensedroid::scheduling {
+
+std::optional<RadioChoice> choose_radio(
+    const std::vector<sim::LinkModel>& radios,
+    const MessageRequirements& req) {
+  std::optional<RadioChoice> best;
+  for (const auto& link : radios) {
+    const double reliability = link.delivery_probability(req.distance_m);
+    if (reliability < req.min_reliability) continue;
+    const double latency = link.transfer_time_s(req.bytes);
+    if (latency > req.max_latency_s) continue;
+    const double energy = link.tx_energy_j(req.bytes);
+    const bool better =
+        !best.has_value() || energy < best->energy_j ||
+        (energy == best->energy_j && latency < best->latency_s);
+    if (better) {
+      best = RadioChoice{link.kind, energy, latency, reliability};
+    }
+  }
+  return best;
+}
+
+std::vector<sim::LinkModel> standard_phone_radios() {
+  return {sim::LinkModel::of(sim::RadioKind::kBluetooth),
+          sim::LinkModel::of(sim::RadioKind::kWiFi),
+          sim::LinkModel::of(sim::RadioKind::kGsm)};
+}
+
+}  // namespace sensedroid::scheduling

@@ -1,0 +1,42 @@
+// Multi-radio link selection (Section 5, "Heterogeneity in Mobile
+// Cloud"): "support for more power efficient networks like Bluetooth can
+// be considered to support the nanocloud architecture."  A node carrying
+// several radios picks per message: the cheapest radio that reaches the
+// destination within the application's latency tolerance.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/radio.h"
+
+namespace sensedroid::scheduling {
+
+/// One message's delivery requirements.
+struct MessageRequirements {
+  std::size_t bytes = 64;
+  double distance_m = 10.0;
+  double max_latency_s = 1.0;      ///< transfer must fit within this
+  double min_reliability = 0.5;    ///< required delivery probability
+};
+
+/// Decision + predicted cost of the chosen radio.
+struct RadioChoice {
+  sim::RadioKind kind = sim::RadioKind::kWiFi;
+  double energy_j = 0.0;        ///< sender-side energy
+  double latency_s = 0.0;       ///< predicted transfer time
+  double reliability = 0.0;     ///< predicted delivery probability
+};
+
+/// Picks the minimum-TX-energy radio among `radios` that satisfies the
+/// requirements; nullopt when none qualifies (caller falls back to
+/// store-and-forward).  Ties resolve toward lower latency.
+std::optional<RadioChoice> choose_radio(
+    const std::vector<sim::LinkModel>& radios,
+    const MessageRequirements& req);
+
+/// The standard phone radio set: Bluetooth + WiFi + GSM.
+std::vector<sim::LinkModel> standard_phone_radios();
+
+}  // namespace sensedroid::scheduling

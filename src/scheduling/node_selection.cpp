@@ -1,0 +1,105 @@
+#include "scheduling/node_selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sensedroid::scheduling {
+
+std::string to_string(SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kRandom: return "random";
+    case SelectionPolicy::kBatteryAware: return "battery-aware";
+    case SelectionPolicy::kRoundRobin: return "round-robin";
+    case SelectionPolicy::kReputationWeighted: return "reputation";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Weighted sampling without replacement by repeated draws over the
+// remaining mass (populations are NanoCloud-sized, so O(m*n) is fine).
+std::vector<std::size_t> weighted_sample(const std::vector<double>& weight,
+                                         std::size_t m, Rng& rng) {
+  std::vector<std::size_t> chosen;
+  std::vector<double> w = weight;
+  for (std::size_t pick = 0; pick < m; ++pick) {
+    const double total = std::accumulate(w.begin(), w.end(), 0.0);
+    if (total <= 0.0) break;
+    double target = rng.uniform(0.0, total);
+    std::size_t idx = w.size() - 1;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (w[i] <= 0.0) continue;
+      if (target < w[i]) {
+        idx = i;
+        break;
+      }
+      target -= w[i];
+    }
+    chosen.push_back(idx);
+    w[idx] = 0.0;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_nodes(std::vector<Candidate>& candidates,
+                                      std::size_t m, SelectionPolicy policy,
+                                      Rng& rng) {
+  // Eligible = alive.
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].state_of_charge > 0.0) alive.push_back(i);
+  }
+  m = std::min(m, alive.size());
+  if (m == 0) return {};
+
+  std::vector<std::size_t> chosen;
+  switch (policy) {
+    case SelectionPolicy::kRandom: {
+      const auto pick = rng.sample_without_replacement(alive.size(), m);
+      for (std::size_t p : pick) chosen.push_back(alive[p]);
+      break;
+    }
+    case SelectionPolicy::kBatteryAware: {
+      std::vector<double> w(alive.size());
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        // Squared SoC: strongly avoid nearly-empty phones.
+        const double soc = candidates[alive[i]].state_of_charge;
+        w[i] = soc * soc;
+      }
+      for (std::size_t p : weighted_sample(w, m, rng)) {
+        chosen.push_back(alive[p]);
+      }
+      break;
+    }
+    case SelectionPolicy::kRoundRobin: {
+      std::vector<std::size_t> order = alive;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return candidates[a].times_selected <
+                                candidates[b].times_selected;
+                       });
+      order.resize(m);
+      chosen = std::move(order);
+      break;
+    }
+    case SelectionPolicy::kReputationWeighted: {
+      std::vector<double> w(alive.size());
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        w[i] = std::max(candidates[alive[i]].reputation, 1e-6);
+      }
+      for (std::size_t p : weighted_sample(w, m, rng)) {
+        chosen.push_back(alive[p]);
+      }
+      break;
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  for (std::size_t i : chosen) ++candidates[i].times_selected;
+  return chosen;
+}
+
+}  // namespace sensedroid::scheduling

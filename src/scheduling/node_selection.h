@@ -1,0 +1,50 @@
+// Broker-side node-selection strategies (Section 5: "Research in the
+// direction of sensor scheduling, adaptive sampling, and compressive
+// sampling and their novel combinations within the framework provide new
+// research opportunities for energy-efficiency.")
+//
+// The broker must choose WHICH m of its candidate nodes to telemeter each
+// round.  Pure random sampling (the CS-theoretic default) ignores battery
+// state and hammers unlucky phones; battery-aware and round-robin
+// variants spread the load — experiment E14 measures the fleet-lifetime
+// consequences.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/random.h"
+
+namespace sensedroid::scheduling {
+
+using linalg::Rng;
+
+/// What the broker knows about each candidate when selecting.
+struct Candidate {
+  std::uint32_t id = 0;
+  double state_of_charge = 1.0;  ///< battery SoC in [0, 1]
+  double reputation = 1.0;       ///< data-quality weight
+  std::uint64_t times_selected = 0;
+};
+
+enum class SelectionPolicy : std::uint8_t {
+  kRandom,              ///< uniform random (CS default)
+  kBatteryAware,        ///< probability proportional to SoC
+  kRoundRobin,          ///< least-recently-selected first
+  kReputationWeighted,  ///< probability proportional to reputation
+};
+
+/// Human-readable name.
+std::string to_string(SelectionPolicy policy);
+
+/// Picks m distinct candidates per the policy.  m is clamped to the
+/// candidate count; candidates with a dead battery (SoC <= 0) are never
+/// selected.  Returns indices into `candidates`, sorted ascending.
+/// Random/weighted draws consume `rng`.
+std::vector<std::size_t> select_nodes(std::vector<Candidate>& candidates,
+                                      std::size_t m, SelectionPolicy policy,
+                                      Rng& rng);
+
+}  // namespace sensedroid::scheduling

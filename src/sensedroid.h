@@ -1,0 +1,85 @@
+// Umbrella header: the whole SenseDroid public API.
+//
+// Applications that want the full stack include this; libraries that
+// depend on one layer should include that layer's headers directly (each
+// src/<module>/ is a separate static library).
+#pragma once
+
+// Linear algebra + sparsifying bases (eq. 2).
+#include "linalg/basis.h"
+#include "linalg/decomposition.h"
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+#include "linalg/vector_ops.h"
+
+// Compressive sensing core (eqs. 4-14, Fig. 6).
+#include "cs/basis_pursuit.h"
+#include "cs/chs.h"
+#include "cs/error_model.h"
+#include "cs/greedy_variants.h"
+#include "cs/least_squares.h"
+#include "cs/measurement.h"
+#include "cs/omp.h"
+#include "cs/simplex.h"
+#include "cs/spatiotemporal.h"
+
+// Spatial fields and zones (eq. 1, Fig. 5).
+#include "field/generators.h"
+#include "field/sparsity.h"
+#include "field/spatial_field.h"
+#include "field/traces.h"
+#include "field/zones.h"
+
+// Simulation substrates.
+#include "sim/energy.h"
+#include "sim/event_sim.h"
+#include "sim/geometry.h"
+#include "sim/mobility.h"
+#include "sim/radio.h"
+
+// Sensors, probes, fusion (Fig. 3).
+#include "sensing/fusion.h"
+#include "sensing/probe.h"
+#include "sensing/sensor.h"
+#include "sensing/signals.h"
+
+// Context processing (IsDriving / IsIndoor / activity / group).
+#include "context/activity.h"
+#include "context/context_engine.h"
+#include "context/group_context.h"
+#include "context/is_driving.h"
+#include "context/is_indoor.h"
+
+// Middleware services (Fig. 2).
+#include "middleware/broker.h"
+#include "middleware/collaboration.h"
+#include "middleware/datastore.h"
+#include "middleware/discovery.h"
+#include "middleware/node.h"
+#include "middleware/privacy.h"
+#include "middleware/pubsub.h"
+#include "middleware/query.h"
+#include "middleware/reputation.h"
+#include "middleware/thin_client.h"
+#include "middleware/wire.h"
+
+// Hierarchy tiers (Fig. 1).
+#include "hierarchy/adaptive.h"
+#include "hierarchy/campaign.h"
+#include "hierarchy/localcloud.h"
+#include "hierarchy/nanocloud.h"
+#include "hierarchy/publiccloud.h"
+
+// Section 5 extensions.
+#include "incentives/auction.h"
+#include "incentives/participant.h"
+#include "incentives/recruitment.h"
+#include "scheduling/adaptive_sampling.h"
+#include "scheduling/multi_radio.h"
+#include "scheduling/node_selection.h"
+
+// Baselines.
+#include "baselines/cdg_luo.h"
+#include "baselines/dense_gathering.h"
+#include "baselines/interpolation.h"
+#include "baselines/solo_sensing.h"

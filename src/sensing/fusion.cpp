@@ -1,0 +1,99 @@
+#include "sensing/fusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sensedroid::sensing {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double wrap_heading(double h) {
+  h = std::fmod(h, kTwoPi);
+  if (h < 0.0) h += kTwoPi;
+  return h;
+}
+
+// Shortest signed angular difference a - b in (-pi, pi].
+double angle_diff(double a, double b) {
+  double d = std::fmod(a - b, kTwoPi);
+  if (d > std::numbers::pi) d -= kTwoPi;
+  if (d <= -std::numbers::pi) d += kTwoPi;
+  return d;
+}
+
+}  // namespace
+
+Orientation attitude_from_gravity(const TriAxial& accel) {
+  Orientation o;
+  const double norm =
+      std::sqrt(accel.x * accel.x + accel.y * accel.y + accel.z * accel.z);
+  if (norm == 0.0) return o;
+  // Device z up: at rest accel = (0, 0, g).  Pitch about x from y/z,
+  // roll about y from x.
+  o.pitch = std::atan2(accel.y, accel.z);
+  o.roll = std::atan2(-accel.x,
+                      std::sqrt(accel.y * accel.y + accel.z * accel.z));
+  return o;
+}
+
+double tilt_compensated_heading(const TriAxial& accel, const TriAxial& mag) {
+  const Orientation o = attitude_from_gravity(accel);
+  const double cp = std::cos(o.pitch), sp = std::sin(o.pitch);
+  const double cr = std::cos(o.roll), sr = std::sin(o.roll);
+  // De-rotate the magnetic vector into the horizontal plane.
+  const double mx = mag.x * cr + mag.z * sr;
+  const double my = mag.x * sr * sp + mag.y * cp - mag.z * cr * sp;
+  if (mx == 0.0 && my == 0.0) return 0.0;
+  return wrap_heading(std::atan2(-my, mx) + kTwoPi);
+}
+
+double inclination(const TriAxial& accel) {
+  const double norm =
+      std::sqrt(accel.x * accel.x + accel.y * accel.y + accel.z * accel.z);
+  if (norm == 0.0) return 0.0;
+  const double c = accel.z / norm;
+  return std::acos(std::clamp(c, -1.0, 1.0));
+}
+
+ComplementaryFilter::ComplementaryFilter(double alpha) : alpha_(alpha) {
+  if (alpha < 0.0 || alpha >= 1.0) {
+    throw std::invalid_argument("ComplementaryFilter: alpha must be [0, 1)");
+  }
+}
+
+void ComplementaryFilter::reset(const TriAxial& accel, const TriAxial& mag) {
+  state_ = attitude_from_gravity(accel);
+  state_.yaw = tilt_compensated_heading(accel, mag);
+  initialized_ = true;
+}
+
+Orientation ComplementaryFilter::update(const TriAxial& gyro_rate,
+                                        const TriAxial& accel,
+                                        const TriAxial& mag, double dt) {
+  if (dt < 0.0) {
+    throw std::invalid_argument("ComplementaryFilter::update: negative dt");
+  }
+  if (!initialized_) {
+    reset(accel, mag);
+    return state_;
+  }
+  // Gyro prediction.
+  Orientation pred = state_;
+  pred.pitch += gyro_rate.x * dt;
+  pred.roll += gyro_rate.y * dt;
+  pred.yaw = wrap_heading(pred.yaw + gyro_rate.z * dt);
+  // Absolute correction.
+  const Orientation abs = attitude_from_gravity(accel);
+  const double abs_yaw = tilt_compensated_heading(accel, mag);
+  state_.pitch = alpha_ * pred.pitch + (1.0 - alpha_) * abs.pitch;
+  state_.roll = alpha_ * pred.roll + (1.0 - alpha_) * abs.roll;
+  state_.yaw = wrap_heading(pred.yaw +
+                            (1.0 - alpha_) * angle_diff(abs_yaw, pred.yaw));
+  return state_;
+}
+
+}  // namespace sensedroid::sensing

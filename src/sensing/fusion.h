@@ -1,0 +1,64 @@
+// Fusion virtual sensors (Fig. 3): "fuse these physical sensor
+// measurements to construct more meaningful sensors (e.g. orientation,
+// compass and inclinometer sensors)".
+//
+// Implements the standard tilt formulas (pitch/roll from gravity,
+// tilt-compensated magnetic heading) plus a complementary filter that
+// blends gyroscope integration with the absolute accel/mag estimates.
+#pragma once
+
+#include <cstddef>
+
+namespace sensedroid::sensing {
+
+/// A 3-axis sample in the device frame (x right, y forward, z up).
+struct TriAxial {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// Euler attitude in radians.
+struct Orientation {
+  double pitch = 0.0;  ///< rotation about x, positive nose-up
+  double roll = 0.0;   ///< rotation about y
+  double yaw = 0.0;    ///< heading, [0, 2*pi), 0 = magnetic north
+};
+
+/// Pitch and roll from a gravity (accelerometer) vector.  The vector need
+/// not be normalized; a zero vector yields zero angles.
+Orientation attitude_from_gravity(const TriAxial& accel);
+
+/// Tilt-compensated compass heading in [0, 2*pi) from gravity + magnetic
+/// field.  Falls back to 0 when the horizontal field component vanishes
+/// (magnetic pole / bad reading).
+double tilt_compensated_heading(const TriAxial& accel, const TriAxial& mag);
+
+/// Inclination of the device z-axis from the vertical, [0, pi].
+double inclination(const TriAxial& accel);
+
+/// Complementary attitude filter: integrates gyro rates and corrects the
+/// drift with the accel/mag absolute attitude at weight (1 - alpha).
+class ComplementaryFilter {
+ public:
+  /// alpha in [0, 1): gyro trust per update (0.98 typical).  Throws
+  /// std::invalid_argument outside the range.
+  explicit ComplementaryFilter(double alpha = 0.98);
+
+  /// Feeds one sample set: gyro rates (rad/s), accel, mag, over dt
+  /// seconds (dt >= 0).  Returns the updated attitude estimate.
+  Orientation update(const TriAxial& gyro_rate, const TriAxial& accel,
+                     const TriAxial& mag, double dt);
+
+  Orientation current() const noexcept { return state_; }
+
+  /// Resets to the attitude implied by one accel/mag pair.
+  void reset(const TriAxial& accel, const TriAxial& mag);
+
+ private:
+  double alpha_;
+  Orientation state_;
+  bool initialized_ = false;
+};
+
+}  // namespace sensedroid::sensing

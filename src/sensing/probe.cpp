@@ -1,0 +1,75 @@
+#include "sensing/probe.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sensedroid::sensing {
+
+std::string to_string(SamplingMode mode) {
+  switch (mode) {
+    case SamplingMode::kContinuous: return "continuous";
+    case SamplingMode::kUniform: return "uniform";
+    case SamplingMode::kCompressive: return "compressive";
+  }
+  return "unknown";
+}
+
+cs::Measurement SampleBatch::to_measurement(double sensor_sigma) const {
+  auto plan = cs::MeasurementPlan::from_indices(window, indices);
+  auto noise = cs::SensorNoise::homogeneous(indices.size(), sensor_sigma);
+  return cs::Measurement{std::move(plan), values, std::move(noise)};
+}
+
+SensingProbe::SensingProbe(SimulatedSensor sensor, const ProbeConfig& config)
+    : sensor_(std::move(sensor)),
+      config_(config),
+      schedule_rng_(config.seed ^ 0x5eed5eedULL) {
+  if (config.window == 0) {
+    throw std::invalid_argument("SensingProbe: window must be positive");
+  }
+  if (config.budget == 0 || config.budget > config.window) {
+    throw std::invalid_argument(
+        "SensingProbe: budget must be in [1, window]");
+  }
+}
+
+SampleBatch SensingProbe::acquire(std::size_t start,
+                                  sim::EnergyMeter* meter) {
+  SampleBatch batch;
+  batch.window = config_.window;
+  switch (config_.mode) {
+    case SamplingMode::kContinuous: {
+      batch.indices.resize(config_.window);
+      for (std::size_t i = 0; i < config_.window; ++i) batch.indices[i] = i;
+      break;
+    }
+    case SamplingMode::kUniform: {
+      const auto plan =
+          cs::MeasurementPlan::uniform_grid(config_.window, config_.budget);
+      batch.indices.assign(plan.indices().begin(), plan.indices().end());
+      break;
+    }
+    case SamplingMode::kCompressive: {
+      batch.indices = schedule_rng_.sample_without_replacement(
+          config_.window, config_.budget);
+      break;
+    }
+  }
+  sim::EnergyMeter local;
+  batch.values.reserve(batch.indices.size());
+  for (std::size_t idx : batch.indices) {
+    batch.values.push_back(sensor_.read(start + idx, &local));
+  }
+  batch.energy_j = local.total_j();
+  if (meter != nullptr) *meter += local;
+  return batch;
+}
+
+double SensingProbe::window_energy_j() const noexcept {
+  const std::size_t reads = config_.mode == SamplingMode::kContinuous
+                                ? config_.window
+                                : config_.budget;
+  return static_cast<double>(reads) * sample_cost_j(sensor_.kind());
+}
+
+}  // namespace sensedroid::sensing

@@ -1,0 +1,76 @@
+// Configurable sensing probes — the paper's sensing API surface:
+// "SenseDroid enables and provides data capture from different sensors ...
+// by providing configurable sensing probes.  The user can configure the
+// sensing probes and sampling techniques through a sensing API."
+//
+// A probe owns a sampling schedule over a window of `window` samples:
+//   kContinuous — read every sample (the traditional baseline);
+//   kUniform    — read every k-th sample (duty cycling);
+//   kCompressive— read m random samples of the window (the paper's
+//                 temporal compressive sampling).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cs/measurement.h"
+#include "sensing/sensor.h"
+#include "sim/energy.h"
+
+namespace sensedroid::sensing {
+
+enum class SamplingMode : std::uint8_t {
+  kContinuous,
+  kUniform,
+  kCompressive,
+};
+
+/// Human-readable name.
+std::string to_string(SamplingMode mode);
+
+/// Probe configuration, validated by SensingProbe's constructor.
+struct ProbeConfig {
+  SamplingMode mode = SamplingMode::kContinuous;
+  std::size_t window = 256;   ///< samples per acquisition window
+  std::size_t budget = 256;   ///< samples actually read (modes != continuous)
+  std::uint64_t seed = 0;     ///< randomization seed for kCompressive
+};
+
+/// One acquisition window's worth of samples.
+struct SampleBatch {
+  std::vector<std::size_t> indices;  ///< which window positions were read
+  linalg::Vector values;             ///< the (noisy) readings
+  double energy_j = 0.0;             ///< sensing energy spent on the batch
+  std::size_t window = 0;            ///< full window length
+
+  /// The batch as a cs::Measurement for reconstruction: the probe's
+  /// schedule becomes the plan, the sensor's sigma becomes the noise model.
+  cs::Measurement to_measurement(double sensor_sigma) const;
+};
+
+/// Samples a SimulatedSensor according to a config.
+class SensingProbe {
+ public:
+  /// Throws std::invalid_argument when budget > window or window == 0.
+  SensingProbe(SimulatedSensor sensor, const ProbeConfig& config);
+
+  const ProbeConfig& config() const noexcept { return config_; }
+  const SimulatedSensor& sensor() const noexcept { return sensor_; }
+
+  /// Acquires one window starting at absolute sample `start`, charging
+  /// `meter` for each read.  Each call with kCompressive mode draws a
+  /// fresh random schedule.
+  SampleBatch acquire(std::size_t start, sim::EnergyMeter* meter = nullptr);
+
+  /// Energy one window costs under this config (sensing only).
+  double window_energy_j() const noexcept;
+
+ private:
+  SimulatedSensor sensor_;
+  ProbeConfig config_;
+  linalg::Rng schedule_rng_;
+};
+
+}  // namespace sensedroid::sensing

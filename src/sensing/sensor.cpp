@@ -1,0 +1,83 @@
+#include "sensing/sensor.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sensedroid::sensing {
+
+std::string to_string(SensorKind kind) {
+  switch (kind) {
+    case SensorKind::kAccelerometer: return "accelerometer";
+    case SensorKind::kGyroscope: return "gyroscope";
+    case SensorKind::kMagnetometer: return "magnetometer";
+    case SensorKind::kGps: return "gps";
+    case SensorKind::kWifiScanner: return "wifi-scanner";
+    case SensorKind::kMicrophone: return "microphone";
+    case SensorKind::kTemperature: return "temperature";
+    case SensorKind::kLight: return "light";
+    case SensorKind::kBarometer: return "barometer";
+  }
+  return "unknown";
+}
+
+double sample_cost_j(SensorKind kind) {
+  const auto& c = sim::SensingCosts::defaults();
+  switch (kind) {
+    case SensorKind::kAccelerometer: return c.accelerometer_j;
+    case SensorKind::kGyroscope: return c.gyroscope_j;
+    case SensorKind::kMagnetometer: return c.accelerometer_j;  // comparable
+    case SensorKind::kGps: return c.gps_j;
+    case SensorKind::kWifiScanner: return c.wifi_scan_j;
+    case SensorKind::kMicrophone: return c.microphone_j;
+    case SensorKind::kTemperature: return c.temperature_j;
+    case SensorKind::kLight: return c.light_j;
+    case SensorKind::kBarometer: return c.temperature_j;  // comparable
+  }
+  return 0.0;
+}
+
+double tier_noise_factor(QualityTier tier) noexcept {
+  switch (tier) {
+    case QualityTier::kFlagship: return 0.5;
+    case QualityTier::kMidrange: return 1.0;
+    case QualityTier::kBudget: return 2.5;
+  }
+  return 1.0;
+}
+
+double nominal_noise_sigma(SensorKind kind) noexcept {
+  switch (kind) {
+    case SensorKind::kAccelerometer: return 0.05;  // m/s^2
+    case SensorKind::kGyroscope: return 0.01;      // rad/s
+    case SensorKind::kMagnetometer: return 0.5;    // uT
+    case SensorKind::kGps: return 0.05;            // quality units
+    case SensorKind::kWifiScanner: return 0.5;     // AP count
+    case SensorKind::kMicrophone: return 1.5;      // dB
+    case SensorKind::kTemperature: return 0.2;     // deg C
+    case SensorKind::kLight: return 10.0;          // lux
+    case SensorKind::kBarometer: return 0.1;       // hPa
+  }
+  return 0.1;
+}
+
+SimulatedSensor::SimulatedSensor(SensorKind kind, QualityTier tier,
+                                 std::function<double(std::size_t)> truth,
+                                 std::uint64_t noise_seed)
+    : kind_(kind),
+      tier_(tier),
+      truth_(std::move(truth)),
+      sigma_(nominal_noise_sigma(kind) * tier_noise_factor(tier)),
+      noise_rng_(noise_seed ^ (static_cast<std::uint64_t>(kind) << 32)) {
+  if (!truth_) {
+    throw std::invalid_argument("SimulatedSensor: empty truth function");
+  }
+}
+
+double SimulatedSensor::read(std::size_t index, sim::EnergyMeter* meter) {
+  if (meter != nullptr) {
+    meter->add(sim::EnergyCategory::kSensing, sample_cost_j(kind_));
+  }
+  return truth_(index) + noise_rng_.gaussian(0.0, sigma_);
+}
+
+}  // namespace sensedroid::sensing

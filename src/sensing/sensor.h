@@ -1,0 +1,86 @@
+// Physical-sensor abstraction (Fig. 3, left column).
+//
+// A SimulatedSensor binds a sensor kind to a ground-truth signal source
+// and a quality tier: reading it returns truth + tier-dependent noise and
+// charges the per-sample energy cost.  Heterogeneous tiers across the
+// fleet are what make the GLS path (eq. 12) matter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "linalg/random.h"
+#include "sim/energy.h"
+
+namespace sensedroid::sensing {
+
+using linalg::Rng;
+
+/// The phone sensors SenseDroid exposes probes for (Fig. 3).
+enum class SensorKind : std::uint8_t {
+  kAccelerometer,
+  kGyroscope,
+  kMagnetometer,
+  kGps,
+  kWifiScanner,
+  kMicrophone,
+  kTemperature,
+  kLight,
+  kBarometer,
+};
+inline constexpr std::size_t kSensorKindCount = 9;
+
+/// Human-readable name ("accelerometer", ...).
+std::string to_string(SensorKind kind);
+
+/// Per-sample energy cost of a sensor kind (J), from
+/// sim::SensingCosts::defaults().
+double sample_cost_j(SensorKind kind);
+
+/// Manufacturing quality tier of a phone's sensor package; maps to a
+/// noise multiplier (flagship ~0.5x, budget ~2.5x of nominal sigma).
+enum class QualityTier : std::uint8_t {
+  kFlagship,
+  kMidrange,
+  kBudget,
+};
+
+/// Noise multiplier for a tier.
+double tier_noise_factor(QualityTier tier) noexcept;
+
+/// Nominal (midrange) noise sigma of a sensor kind in its natural unit.
+double nominal_noise_sigma(SensorKind kind) noexcept;
+
+/// One simulated physical sensor on one device.
+class SimulatedSensor {
+ public:
+  /// `truth` maps a sample index to the ground-truth value.  Throws
+  /// std::invalid_argument when truth is empty.
+  SimulatedSensor(SensorKind kind, QualityTier tier,
+                  std::function<double(std::size_t)> truth,
+                  std::uint64_t noise_seed = 0);
+
+  SensorKind kind() const noexcept { return kind_; }
+  QualityTier tier() const noexcept { return tier_; }
+
+  /// Effective noise standard deviation of this unit (nominal x tier).
+  double noise_sigma() const noexcept { return sigma_; }
+
+  /// Reads sample `index`: truth(index) + N(0, sigma).  Charges the
+  /// sensing cost to `meter` when provided.
+  double read(std::size_t index, sim::EnergyMeter* meter = nullptr);
+
+  /// Ground truth without noise or cost (for scoring).
+  double truth(std::size_t index) const { return truth_(index); }
+
+ private:
+  SensorKind kind_;
+  QualityTier tier_;
+  std::function<double(std::size_t)> truth_;
+  double sigma_;
+  Rng noise_rng_;
+};
+
+}  // namespace sensedroid::sensing

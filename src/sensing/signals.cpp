@@ -1,0 +1,148 @@
+#include "sensing/signals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sensedroid::sensing {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+std::string to_string(Activity a) {
+  switch (a) {
+    case Activity::kIdle: return "idle";
+    case Activity::kWalking: return "walking";
+    case Activity::kDriving: return "driving";
+  }
+  return "unknown";
+}
+
+Vector accelerometer_trace(Activity activity, std::size_t n, double rate_hz,
+                           Rng& rng) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("accelerometer_trace: rate must be positive");
+  }
+  Vector x(n, 0.0);
+  const double dt = 1.0 / rate_hz;
+  switch (activity) {
+    case Activity::kIdle: {
+      for (std::size_t i = 0; i < n; ++i) x[i] = rng.gaussian(0.0, 0.03);
+      break;
+    }
+    case Activity::kWalking: {
+      const double gait_hz = rng.uniform(1.6, 2.2);
+      const double phase = rng.uniform(0.0, kTwoPi);
+      const double amp = rng.uniform(1.5, 2.5);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) * dt;
+        x[i] = amp * std::sin(kTwoPi * gait_hz * t + phase) +
+               0.4 * amp * std::sin(kTwoPi * 2.0 * gait_hz * t + 2.0 * phase) +
+               rng.gaussian(0.0, 0.1);
+      }
+      break;
+    }
+    case Activity::kDriving: {
+      const double engine_hz = rng.uniform(18.0, 28.0);
+      const double road_hz = rng.uniform(3.0, 6.0);
+      const double phase = rng.uniform(0.0, kTwoPi);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) * dt;
+        x[i] = 0.6 * std::sin(kTwoPi * engine_hz * t + phase) +
+               0.8 * std::sin(kTwoPi * road_hz * t) +
+               rng.gaussian(0.0, 0.15);
+        if (rng.bernoulli(0.01)) x[i] += rng.uniform(1.0, 3.0);  // pothole
+      }
+      break;
+    }
+  }
+  return x;
+}
+
+LabeledTrace labeled_activity_trace(std::size_t segments,
+                                    std::size_t segment_len, double rate_hz,
+                                    Rng& rng) {
+  LabeledTrace out;
+  out.samples.reserve(segments * segment_len);
+  out.labels.reserve(segments * segment_len);
+  constexpr Activity kAll[] = {Activity::kIdle, Activity::kWalking,
+                               Activity::kDriving};
+  for (std::size_t s = 0; s < segments; ++s) {
+    const Activity a = kAll[rng.uniform_index(3)];
+    const Vector seg = accelerometer_trace(a, segment_len, rate_hz, rng);
+    out.samples.insert(out.samples.end(), seg.begin(), seg.end());
+    out.labels.insert(out.labels.end(), segment_len, a);
+  }
+  return out;
+}
+
+std::vector<bool> indoor_schedule(std::size_t n, double mean_stay, Rng& rng) {
+  if (mean_stay <= 0.0) {
+    throw std::invalid_argument("indoor_schedule: mean_stay must be positive");
+  }
+  std::vector<bool> indoor(n, false);
+  bool state = rng.bernoulli(0.5);
+  std::size_t i = 0;
+  while (i < n) {
+    const auto stay = static_cast<std::size_t>(
+        std::max(1.0, rng.exponential(1.0 / mean_stay)));
+    for (std::size_t j = 0; j < stay && i < n; ++j, ++i) indoor[i] = state;
+    state = !state;
+  }
+  return indoor;
+}
+
+Vector gps_quality_trace(const std::vector<bool>& indoor, Rng& rng) {
+  Vector q(indoor.size());
+  for (std::size_t i = 0; i < indoor.size(); ++i) {
+    const double base = indoor[i] ? 0.1 : 0.9;
+    q[i] = std::clamp(base + rng.gaussian(0.0, 0.05), 0.0, 1.0);
+  }
+  return q;
+}
+
+Vector wifi_count_trace(const std::vector<bool>& indoor, Rng& rng) {
+  Vector c(indoor.size());
+  for (std::size_t i = 0; i < indoor.size(); ++i) {
+    const double base = indoor[i] ? 8.0 : 1.5;
+    c[i] = std::max(0.0, base + rng.gaussian(0.0, 1.0));
+  }
+  return c;
+}
+
+Vector temperature_trace(std::size_t n, double rate_hz, Rng& rng,
+                         double mean_c, double swing_c) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("temperature_trace: rate must be positive");
+  }
+  Vector t(n);
+  const double day_s = 86400.0;
+  double weather = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ts = static_cast<double>(i) / rate_hz;
+    weather = 0.999 * weather + rng.gaussian(0.0, 0.02);  // slow AR(1)
+    t[i] = mean_c +
+           swing_c * std::sin(kTwoPi * ts / day_s - std::numbers::pi / 2.0) +
+           weather;
+  }
+  return t;
+}
+
+Vector microphone_spl_trace(std::size_t n, Rng& rng, double quiet_db,
+                            double burst_db, double burst_prob) {
+  Vector spl(n);
+  double burst_left = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (burst_left <= 0.0 && rng.bernoulli(burst_prob)) {
+      burst_left = rng.uniform(3.0, 12.0);  // burst length in samples
+    }
+    const double base = burst_left > 0.0 ? burst_db : quiet_db;
+    if (burst_left > 0.0) burst_left -= 1.0;
+    spl[i] = base + rng.gaussian(0.0, 2.0);
+  }
+  return spl;
+}
+
+}  // namespace sensedroid::sensing

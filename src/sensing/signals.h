@@ -1,0 +1,75 @@
+// Synthetic time-series generators — the stand-ins for live phone sensors
+// (DESIGN.md substitution table).  Each generator produces signals with
+// the spectral structure its real counterpart exhibits, plus ground-truth
+// labels so context classifiers can be scored:
+//   - accelerometer: idle (gravity + jitter), walking (~2 Hz gait),
+//     driving (engine + road vibration, Fig. 4's subject signal);
+//   - GPS fix quality and WiFi AP visibility over an indoor/outdoor day
+//     schedule (the 'IsIndoor' experiment, E7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+
+namespace sensedroid::sensing {
+
+using linalg::Rng;
+using linalg::Vector;
+
+/// Ground-truth activity of the phone's carrier.
+enum class Activity : std::uint8_t {
+  kIdle,
+  kWalking,
+  kDriving,
+};
+
+/// Human-readable name.
+std::string to_string(Activity a);
+
+/// Accelerometer magnitude trace (gravity-removed, m/s^2) of `n` samples
+/// at `rate_hz` for one activity.  Deterministic in rng.
+///  - idle: tiny wideband jitter;
+///  - walking: dominant gait harmonic near 2 Hz, amplitude ~2;
+///  - driving: engine hum (20-30 Hz aliased per rate) + road noise +
+///    occasional bumps.  All three are compressible in DCT.
+Vector accelerometer_trace(Activity activity, std::size_t n, double rate_hz,
+                           Rng& rng);
+
+/// A labeled multi-segment accelerometer day: consecutive segments of
+/// random activities, each `segment_len` samples.
+struct LabeledTrace {
+  Vector samples;
+  std::vector<Activity> labels;  ///< one label per sample
+};
+LabeledTrace labeled_activity_trace(std::size_t segments,
+                                    std::size_t segment_len, double rate_hz,
+                                    Rng& rng);
+
+/// Indoor/outdoor schedule over a day: alternating stays, true = indoor.
+/// `mean_stay` samples per stay (exponential); deterministic in rng.
+std::vector<bool> indoor_schedule(std::size_t n, double mean_stay, Rng& rng);
+
+/// GPS fix quality (0..1, ~SNR proxy) along an indoor schedule: high
+/// outdoors (~0.9), collapses indoors (~0.1), with noise.  The jump
+/// structure is what makes it Haar/DCT-compressible.
+Vector gps_quality_trace(const std::vector<bool>& indoor, Rng& rng);
+
+/// Visible WiFi AP count along an indoor schedule: high indoors (~8),
+/// low outdoors (~1.5).  Counts are noisy but non-negative.
+Vector wifi_count_trace(const std::vector<bool>& indoor, Rng& rng);
+
+/// Ambient temperature series with a diurnal cycle + weather noise.
+Vector temperature_trace(std::size_t n, double rate_hz, Rng& rng,
+                         double mean_c = 22.0, double swing_c = 4.0);
+
+/// Sound pressure level (dB) trace: quiet floor with event bursts.
+Vector microphone_spl_trace(std::size_t n, Rng& rng,
+                            double quiet_db = 35.0, double burst_db = 75.0,
+                            double burst_prob = 0.02);
+
+}  // namespace sensedroid::sensing

@@ -1,0 +1,62 @@
+#include "sim/energy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sensedroid::sim {
+
+std::string to_string(EnergyCategory c) {
+  switch (c) {
+    case EnergyCategory::kSensing: return "sensing";
+    case EnergyCategory::kTx: return "tx";
+    case EnergyCategory::kRx: return "rx";
+    case EnergyCategory::kCompute: return "compute";
+    case EnergyCategory::kIdle: return "idle";
+  }
+  return "unknown";
+}
+
+void EnergyMeter::add(EnergyCategory c, double joules) {
+  if (joules < 0.0) {
+    throw std::invalid_argument("EnergyMeter::add: negative energy");
+  }
+  by_cat_[static_cast<std::size_t>(c)] += joules;
+}
+
+double EnergyMeter::total_j() const noexcept {
+  double t = 0.0;
+  for (double x : by_cat_) t += x;
+  return t;
+}
+
+EnergyMeter& EnergyMeter::operator+=(const EnergyMeter& rhs) noexcept {
+  for (std::size_t i = 0; i < kEnergyCategoryCount; ++i) {
+    by_cat_[i] += rhs.by_cat_[i];
+  }
+  return *this;
+}
+
+Battery::Battery(double capacity_j) : capacity_j_(capacity_j) {
+  if (capacity_j < 0.0) {
+    throw std::invalid_argument("Battery: negative capacity");
+  }
+}
+
+bool Battery::draw(double joules) {
+  if (joules < 0.0) {
+    throw std::invalid_argument("Battery::draw: negative draw");
+  }
+  if (joules > remaining_j()) {
+    consumed_j_ = capacity_j_;
+    return false;
+  }
+  consumed_j_ += joules;
+  return true;
+}
+
+const SensingCosts& SensingCosts::defaults() noexcept {
+  static const SensingCosts costs{};
+  return costs;
+}
+
+}  // namespace sensedroid::sim

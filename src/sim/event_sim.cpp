@@ -1,0 +1,64 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace sensedroid::sim {
+
+std::uint64_t Simulator::schedule(SimTime delay, Handler fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulator::schedule: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::schedule_at(SimTime when, Handler fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Simulator::cancel(std::uint64_t id) { return live_.erase(id) == 1; }
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (live_.erase(ev.id) == 0) continue;  // cancelled
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (fire_next()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    if (fire_next()) ++n;
+  }
+  now_ = std::max(now_, until);
+  return n;
+}
+
+std::size_t Simulator::step(std::size_t count) {
+  std::size_t n = 0;
+  for (; n < count; ++n) {
+    if (!fire_next()) break;
+  }
+  return n;
+}
+
+}  // namespace sensedroid::sim

@@ -1,0 +1,79 @@
+// Deterministic discrete-event simulation engine.
+//
+// Everything time-dependent in the reproduction — gathering rounds, radio
+// transfer completions, duty-cycled probes, broker queue service — runs on
+// this engine so that experiment timing is exact and repeatable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace sensedroid::sim {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Single-threaded event loop with a stable (time, insertion-order)
+/// priority queue: events at equal times fire in schedule order, making
+/// runs bit-reproducible.
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0; throws
+  /// std::invalid_argument on negative delay).  Returns an event id that
+  /// can be cancelled.
+  std::uint64_t schedule(SimTime delay, Handler fn);
+
+  /// Schedules at an absolute time (>= now; throws otherwise).
+  std::uint64_t schedule_at(SimTime when, Handler fn);
+
+  /// Cancels a pending event; returns false when the id already fired,
+  /// was cancelled, or never existed.
+  bool cancel(std::uint64_t id);
+
+  /// Runs events until the queue drains.  Returns events executed.
+  std::size_t run();
+
+  /// Runs events with time <= until, then sets now() = until.
+  /// Returns events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Executes at most `n` events.  Returns events executed.
+  std::size_t step(std::size_t n = 1);
+
+  /// Events scheduled but neither fired nor cancelled.
+  std::size_t pending() const noexcept { return live_.size(); }
+  std::size_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: schedule order
+    std::uint64_t id;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  bool fire_next();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;  // scheduled, not fired/cancelled
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace sensedroid::sim

@@ -1,0 +1,43 @@
+// Minimal planar geometry for node placement and mobility.
+#pragma once
+
+#include <cmath>
+
+namespace sensedroid::sim {
+
+/// A point (or displacement) in meters on the simulation plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point operator+(const Point& o) const noexcept { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const noexcept { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const noexcept { return {x * s, y * s}; }
+  bool operator==(const Point& o) const noexcept = default;
+};
+
+inline double distance(const Point& a, const Point& b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Axis-aligned rectangle [x0, x1] x [y0, y1] — the deployment region of a
+/// NanoCloud or LocalCloud.
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  double width() const noexcept { return x1 - x0; }
+  double height() const noexcept { return y1 - y0; }
+  bool contains(const Point& p) const noexcept {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  Point clamp(const Point& p) const noexcept {
+    return {p.x < x0 ? x0 : (p.x > x1 ? x1 : p.x),
+            p.y < y0 ? y0 : (p.y > y1 ? y1 : p.y)};
+  }
+  Point center() const noexcept { return {(x0 + x1) / 2.0, (y0 + y1) / 2.0}; }
+};
+
+}  // namespace sensedroid::sim

@@ -1,0 +1,129 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sensedroid::sim {
+
+RandomWaypoint::RandomWaypoint(const Params& params, Rng& rng)
+    : params_(params) {
+  pos_ = {rng.uniform(params.region.x0, params.region.x1),
+          rng.uniform(params.region.y0, params.region.y1)};
+  pick_target(rng);
+}
+
+void RandomWaypoint::pick_target(Rng& rng) {
+  target_ = {rng.uniform(params_.region.x0, params_.region.x1),
+             rng.uniform(params_.region.y0, params_.region.y1)};
+  speed_ = rng.uniform(params_.min_speed_mps, params_.max_speed_mps);
+}
+
+void RandomWaypoint::step(double dt, Rng& rng) {
+  if (dt < 0.0) {
+    throw std::invalid_argument("RandomWaypoint::step: negative dt");
+  }
+  while (dt > 0.0) {
+    if (pause_left_ > 0.0) {
+      const double wait = std::min(pause_left_, dt);
+      pause_left_ -= wait;
+      dt -= wait;
+      continue;
+    }
+    const double dist_to_target = distance(pos_, target_);
+    const double reachable = speed_ * dt;
+    if (reachable >= dist_to_target) {
+      // Arrive, start the pause, pick the next leg.
+      pos_ = target_;
+      dt -= speed_ > 0.0 ? dist_to_target / speed_ : dt;
+      pause_left_ = params_.pause_s;
+      pick_target(rng);
+    } else {
+      const double f = dist_to_target > 0.0 ? reachable / dist_to_target : 0.0;
+      pos_ = pos_ + (target_ - pos_) * f;
+      dt = 0.0;
+    }
+  }
+}
+
+PedestrianGrid::PedestrianGrid(const Params& params, Rng& rng)
+    : params_(params) {
+  // Start at a random intersection.
+  const auto nx = static_cast<std::size_t>(
+      std::max(1.0, params.region.width() / params.block_m));
+  const auto ny = static_cast<std::size_t>(
+      std::max(1.0, params.region.height() / params.block_m));
+  pos_ = {params.region.x0 +
+              static_cast<double>(rng.uniform_index(nx + 1)) * params.block_m,
+          params.region.y0 +
+              static_cast<double>(rng.uniform_index(ny + 1)) * params.block_m};
+  pos_ = params.region.clamp(pos_);
+  choose_direction(rng);
+}
+
+void PedestrianGrid::choose_direction(Rng& rng) {
+  // Directions that stay inside the region; avoid an immediate U-turn
+  // when any alternative exists.
+  const Dir options[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  std::vector<Dir> valid;
+  std::vector<Dir> non_uturn;
+  for (const Dir& d : options) {
+    const Point next{pos_.x + d.dx * params_.block_m,
+                     pos_.y + d.dy * params_.block_m};
+    if (!params_.region.contains(next)) continue;
+    valid.push_back(d);
+    if (d.dx != -dir_.dx || d.dy != -dir_.dy) non_uturn.push_back(d);
+  }
+  const auto& pool = non_uturn.empty() ? valid : non_uturn;
+  if (pool.empty()) {
+    dir_ = {-dir_.dx, -dir_.dy};  // dead end: turn around in place
+    return;
+  }
+  dir_ = pool[rng.uniform_index(pool.size())];
+}
+
+void PedestrianGrid::step(double dt, Rng& rng) {
+  if (dt < 0.0) {
+    throw std::invalid_argument("PedestrianGrid::step: negative dt");
+  }
+  double remaining = params_.speed_mps * dt;
+  while (remaining > 0.0) {
+    // Distance to the next intersection along the current direction.
+    double to_next;
+    if (dir_.dx != 0) {
+      const double cell = std::fmod(pos_.x - params_.region.x0,
+                                    params_.block_m);
+      to_next = dir_.dx > 0 ? params_.block_m - cell : cell;
+    } else {
+      const double cell = std::fmod(pos_.y - params_.region.y0,
+                                    params_.block_m);
+      to_next = dir_.dy > 0 ? params_.block_m - cell : cell;
+    }
+    if (to_next <= 1e-9) to_next = params_.block_m;  // exactly at a corner
+
+    const double travel = std::min(remaining, to_next);
+    pos_.x += dir_.dx * travel;
+    pos_.y += dir_.dy * travel;
+    pos_ = params_.region.clamp(pos_);
+    remaining -= travel;
+    if (travel >= to_next - 1e-9) choose_direction(rng);
+  }
+}
+
+Crowd::Crowd(std::size_t n, const RandomWaypoint::Params& params, Rng& rng) {
+  walkers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) walkers_.emplace_back(params, rng);
+}
+
+void Crowd::step(double dt, Rng& rng) {
+  for (auto& w : walkers_) w.step(dt, rng);
+}
+
+std::vector<Point> Crowd::positions() const {
+  std::vector<Point> out;
+  out.reserve(walkers_.size());
+  for (const auto& w : walkers_) out.push_back(w.position());
+  return out;
+}
+
+}  // namespace sensedroid::sim

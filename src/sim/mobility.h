@@ -1,0 +1,102 @@
+// Node mobility models — the "high mobility" property that distinguishes
+// mobile phone sensing from static WSNs (Section 2).
+//
+// RandomWaypoint: the standard MANET model — pick a target uniformly in
+// the region, walk to it at a random speed, pause, repeat.
+// PedestrianGrid: walkers constrained to a Manhattan street grid, for the
+// urban sensing scenarios (Aquiba-style pedestrian collaboration).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/random.h"
+#include "sim/geometry.h"
+
+namespace sensedroid::sim {
+
+using linalg::Rng;
+
+/// Common interface: advance a walker's position in simulated time.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Current position.
+  virtual Point position() const = 0;
+
+  /// Advances by dt seconds (dt >= 0).
+  virtual void step(double dt, Rng& rng) = 0;
+};
+
+/// Random-waypoint walker within a rectangle.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Params {
+    Rect region{0.0, 0.0, 100.0, 100.0};
+    double min_speed_mps = 0.5;
+    double max_speed_mps = 2.0;   ///< pedestrian range by default
+    double pause_s = 5.0;         ///< dwell at each waypoint
+  };
+
+  /// Starts at a uniform random position with a fresh target.
+  RandomWaypoint(const Params& params, Rng& rng);
+
+  Point position() const override { return pos_; }
+  void step(double dt, Rng& rng) override;
+
+ private:
+  void pick_target(Rng& rng);
+
+  Params params_;
+  Point pos_;
+  Point target_;
+  double speed_ = 1.0;
+  double pause_left_ = 0.0;
+};
+
+/// Walker constrained to a Manhattan grid with `block_m`-sized blocks:
+/// moves along streets, turning at intersections with equal probability
+/// over the available directions (no immediate U-turns unless dead-ended).
+class PedestrianGrid final : public MobilityModel {
+ public:
+  struct Params {
+    Rect region{0.0, 0.0, 400.0, 400.0};
+    double block_m = 80.0;
+    double speed_mps = 1.4;  ///< typical walking speed
+  };
+
+  PedestrianGrid(const Params& params, Rng& rng);
+
+  Point position() const override { return pos_; }
+  void step(double dt, Rng& rng) override;
+
+ private:
+  struct Dir {
+    int dx;
+    int dy;
+  };
+  void choose_direction(Rng& rng);
+
+  Params params_;
+  Point pos_;       // always on a street (x or y multiple of block)
+  Dir dir_{1, 0};
+};
+
+/// Convenience: N independent random-waypoint walkers stepped together.
+class Crowd {
+ public:
+  Crowd(std::size_t n, const RandomWaypoint::Params& params, Rng& rng);
+
+  std::size_t size() const noexcept { return walkers_.size(); }
+  Point position(std::size_t i) const { return walkers_.at(i).position(); }
+  void step(double dt, Rng& rng);
+
+  /// Positions of all walkers.
+  std::vector<Point> positions() const;
+
+ private:
+  std::vector<RandomWaypoint> walkers_;
+};
+
+}  // namespace sensedroid::sim

@@ -1,0 +1,66 @@
+// Radio link models for the heterogeneous connectivity the paper's
+// NanoClouds use ("multiple networks like WiFi, GSM, bluetooth etc.",
+// Fig. 2).
+//
+// The models are first-order but dimensionally honest: per-byte energy,
+// bandwidth-limited transfer time, base latency, and a distance-dependent
+// loss probability.  Experiments E3/E4/E9 need *relative* costs between
+// technologies and between message counts, not RF fidelity (DESIGN.md
+// substitution table).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "linalg/random.h"
+#include "sim/geometry.h"
+
+namespace sensedroid::sim {
+
+using linalg::Rng;
+
+enum class RadioKind : std::uint8_t {
+  kWiFi,       ///< high bandwidth, moderate energy, ~100 m
+  kBluetooth,  ///< low energy, low bandwidth, ~10 m (nanocloud links)
+  kGsm,        ///< wide area, high latency and energy (uplink to cloud)
+};
+
+/// Human-readable name.
+std::string to_string(RadioKind kind);
+
+/// Link parameters.  Defaults per kind come from `LinkModel::of()`;
+/// magnitudes follow the mobile-radio measurement literature (WiFi
+/// ~0.6 uJ/B, BT ~0.1 uJ/B, cellular ~2.5 uJ/B; latencies 2 ms / 15 ms /
+/// 120 ms; ranges 100 m / 10 m / 10 km).
+struct LinkModel {
+  RadioKind kind = RadioKind::kWiFi;
+  double range_m = 100.0;
+  double bandwidth_bps = 20e6;
+  double base_latency_s = 0.002;
+  double tx_energy_per_byte_j = 0.6e-6;
+  double rx_energy_per_byte_j = 0.3e-6;
+  double base_loss = 0.01;  ///< loss probability at zero distance
+
+  /// The default model for a radio technology.
+  static LinkModel of(RadioKind kind);
+
+  /// Time to move `bytes` over the link (latency + serialization).
+  double transfer_time_s(std::size_t bytes) const noexcept;
+
+  /// Sender-side energy for `bytes`.
+  double tx_energy_j(std::size_t bytes) const noexcept;
+
+  /// Receiver-side energy for `bytes`.
+  double rx_energy_j(std::size_t bytes) const noexcept;
+
+  /// True when a transmission over `dist` meters succeeds.  Loss rises
+  /// quadratically from base_loss to 1 at the range edge; beyond range the
+  /// link always fails.
+  bool delivery_succeeds(double dist, Rng& rng) const;
+
+  /// Probability of delivery at a distance (for analysis without a rng).
+  double delivery_probability(double dist) const noexcept;
+};
+
+}  // namespace sensedroid::sim

@@ -1,0 +1,167 @@
+// Tests for the Kronecker product, separable 2-D DCT, and 2-D Upsilon
+// interpolation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cs/chs.h"
+#include "field/generators.h"
+#include "field/spatial_field.h"
+#include "linalg/basis.h"
+#include "linalg/vector_ops.h"
+
+namespace sc = sensedroid::cs;
+namespace sf = sensedroid::field;
+namespace sl = sensedroid::linalg;
+
+// ----------------------------------------------------------- kronecker ----
+
+TEST(Kronecker, MatchesHandComputation) {
+  sl::Matrix a{{1, 2}, {3, 4}};
+  sl::Matrix b{{0, 5}, {6, 7}};
+  auto k = sl::kronecker(a, b);
+  ASSERT_EQ(k.rows(), 4u);
+  ASSERT_EQ(k.cols(), 4u);
+  EXPECT_DOUBLE_EQ(k(0, 1), 5.0);         // a00*b01
+  EXPECT_DOUBLE_EQ(k(1, 0), 6.0);         // a00*b10
+  EXPECT_DOUBLE_EQ(k(0, 3), 2.0 * 5.0);   // a01*b01
+  EXPECT_DOUBLE_EQ(k(2, 3), 4.0 * 5.0);   // a11*b01
+  EXPECT_DOUBLE_EQ(k(3, 3), 4.0 * 7.0);   // a11*b11
+}
+
+TEST(Kronecker, MixedProductProperty) {
+  // (A (x) B)(x (x) y) == (A x) (x) (B y).
+  sl::Matrix a{{1, -1}, {2, 0}};
+  sl::Matrix b{{3, 1}, {0, 2}};
+  sl::Vector x{1.0, 2.0};
+  sl::Vector y{-1.0, 3.0};
+  sl::Vector xy(4);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t k = 0; k < 2; ++k) xy[i * 2 + k] = x[i] * y[k];
+  }
+  const auto lhs = sl::kronecker(a, b) * xy;
+  const auto ax = a * x;
+  const auto by = b * y;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_NEAR(lhs[i * 2 + k], ax[i] * by[k], 1e-12);
+    }
+  }
+}
+
+// ------------------------------------------------------------- dct2 ----
+
+TEST(Dct2, IsOrthonormal) {
+  EXPECT_TRUE(sl::is_orthonormal(sl::dct2_basis(6, 4)));
+  EXPECT_TRUE(sl::is_orthonormal(sl::dct2_basis(5, 5)));
+  EXPECT_THROW(sl::dct2_basis(0, 4), std::invalid_argument);
+}
+
+TEST(Dct2, ConstantFieldIsOneSparse) {
+  sf::SpatialField f(6, 4, 2.5);
+  const auto basis = sl::dct2_basis(6, 4);
+  const auto alpha = sl::analyze(basis, f.vectorize());
+  EXPECT_EQ(sl::norm0(alpha, 1e-10), 1u);
+}
+
+TEST(Dct2, SeparableFieldIsOneSparse) {
+  // f(i,j) = cos_w(j) * cos_h(i) with on-grid atoms: exactly one 2-D atom.
+  const std::size_t w = 8, h = 6;
+  const auto dw = sl::dct_basis(w);
+  const auto dh = sl::dct_basis(h);
+  sf::SpatialField f(w, h);
+  for (std::size_t j = 0; j < w; ++j) {
+    for (std::size_t i = 0; i < h; ++i) f(i, j) = dw(j, 2) * dh(i, 1);
+  }
+  const auto basis = sl::dct2_basis(w, h);
+  const auto alpha = sl::analyze(basis, f.vectorize());
+  EXPECT_EQ(sl::norm0(alpha, 1e-10), 1u);
+}
+
+TEST(Dct2, SmootherSparsityThan1dOnPlumes) {
+  // The whole point: physical 2-D fields compress better in the 2-D DCT.
+  sl::Rng rng(3);
+  const auto f = sf::random_plume_field(12, 12, 3, rng, 0.0);
+  const auto b1 = sl::dct_basis(144);
+  const auto b2 = sl::dct2_basis(12, 12);
+  const auto k1 = sl::effective_sparsity(b1, f.flat(), 0.05);
+  const auto k2 = sl::effective_sparsity(b2, f.flat(), 0.05);
+  EXPECT_LT(k2, k1);
+}
+
+// --------------------------------------------------- 2-D interpolation ----
+
+TEST(Interp2d, NearestCopiesEuclideanNearest) {
+  // 4x4 grid (h=4), samples at (0,0)=1 and (3,3)=9.
+  sl::Vector v{1.0, 9.0};
+  std::vector<std::size_t> loc{0, 15};
+  auto g = sc::interpolate_to_grid_2d(v, loc, 16, 4,
+                                      sc::Interpolation::kNearest);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_DOUBLE_EQ(g[15], 9.0);
+  EXPECT_DOUBLE_EQ(g[1], 1.0);   // (1,0) nearer to (0,0)
+  EXPECT_DOUBLE_EQ(g[14], 9.0);  // (2,3) nearer to (3,3)
+}
+
+TEST(Interp2d, LinearReproducesSampleValues) {
+  sl::Vector v{2.0, 8.0, 5.0};
+  std::vector<std::size_t> loc{0, 7, 12};
+  auto g = sc::interpolate_to_grid_2d(v, loc, 16, 4,
+                                      sc::Interpolation::kLinear);
+  EXPECT_DOUBLE_EQ(g[0], 2.0);
+  EXPECT_DOUBLE_EQ(g[7], 8.0);
+  EXPECT_DOUBLE_EQ(g[12], 5.0);
+  // Every interpolated value lies within the sample range.
+  for (double x : g) {
+    EXPECT_GE(x, 2.0 - 1e-12);
+    EXPECT_LE(x, 8.0 + 1e-12);
+  }
+}
+
+TEST(Interp2d, Validation) {
+  sl::Vector v{1.0};
+  std::vector<std::size_t> loc{0};
+  EXPECT_THROW(sc::interpolate_to_grid_2d(v, loc, 16, 3,
+                                          sc::Interpolation::kNearest),
+               std::invalid_argument);
+  sl::Vector bad{1.0, 2.0};
+  EXPECT_THROW(sc::interpolate_to_grid_2d(bad, loc, 16, 4,
+                                          sc::Interpolation::kNearest),
+               std::invalid_argument);
+}
+
+TEST(Interp2d, ChsWith2dGeometryRecoversPlume) {
+  const std::size_t w = 12, h = 12, n = w * h, m = 40;
+  sl::Rng rng(5);
+  const auto f = sf::random_plume_field(w, h, 2, rng, 10.0);
+  const auto basis = sl::dct2_basis(w, h);
+  auto plan = sc::MeasurementPlan::random(n, m, rng);
+  const auto meas = sc::measure_exact(f.vectorize(), plan);
+
+  sc::ChsOptions opts;
+  opts.interpolation = sc::Interpolation::kLinear;
+  opts.grid_height = h;
+  const auto res2d = sc::chs_reconstruct(basis, meas, opts);
+  EXPECT_LT(sl::nrmse(res2d.reconstruction, f.vectorize()), 0.02);
+}
+
+TEST(Interp2d, TwoDGeometryBeatsOneDOnAverage) {
+  const std::size_t w = 12, h = 12, n = w * h, m = 30;
+  double err1 = 0.0, err2 = 0.0;
+  for (int t = 0; t < 6; ++t) {
+    sl::Rng rng(50 + t);
+    const auto f = sf::random_plume_field(w, h, 2, rng, 10.0);
+    const auto basis = sl::dct2_basis(w, h);
+    auto plan = sc::MeasurementPlan::random(n, m, rng);
+    const auto meas = sc::measure_exact(f.vectorize(), plan);
+    sc::ChsOptions o1;
+    o1.interpolation = sc::Interpolation::kLinear;  // 1-D Upsilon
+    sc::ChsOptions o2 = o1;
+    o2.grid_height = h;  // 2-D Upsilon
+    err1 += sl::nrmse(sc::chs_reconstruct(basis, meas, o1).reconstruction,
+                      f.vectorize());
+    err2 += sl::nrmse(sc::chs_reconstruct(basis, meas, o2).reconstruction,
+                      f.vectorize());
+  }
+  EXPECT_LE(err2, err1 * 1.05);
+}

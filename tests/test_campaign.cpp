@@ -1,0 +1,96 @@
+// Tests for continuous sensing campaigns on the event simulator.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "field/generators.h"
+#include "hierarchy/campaign.h"
+
+namespace sh = sensedroid::hierarchy;
+namespace sf = sensedroid::field;
+namespace sl = sensedroid::linalg;
+namespace ss = sensedroid::sim;
+
+namespace {
+
+sh::NanoCloud make_cloud(sl::Rng& rng, double battery_j = 36000.0) {
+  static sf::SpatialField truth = [] {
+    sl::Rng frng(1);
+    return sf::random_plume_field(10, 10, 2, frng, 20.0);
+  }();
+  sh::NanoCloudConfig cfg;
+  cfg.coverage = 1.0;
+  cfg.battery_capacity_j = battery_j;
+  return sh::NanoCloud(truth, cfg, rng);
+}
+
+}  // namespace
+
+TEST(Campaign, RunsAllRoundsOnSchedule) {
+  sl::Rng rng(2);
+  auto cloud = make_cloud(rng);
+  ss::Simulator sim;
+  sh::SensingCampaign::Config cfg;
+  cfg.period_s = 30.0;
+  cfg.rounds = 5;
+  cfg.initial_budget = 40;
+  sh::SensingCampaign campaign(cloud, sim, cfg);
+  const auto reports = campaign.run(rng);
+  ASSERT_EQ(reports.size(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(reports[r].time_s, 30.0 * r);
+    EXPECT_EQ(reports[r].budget, 40u);
+    EXPECT_GT(reports[r].m_used, 30u);
+    EXPECT_LT(reports[r].nrmse, 0.2);
+  }
+  // Fleet energy is cumulative and non-decreasing.
+  for (std::size_t r = 1; r < 5; ++r) {
+    EXPECT_GE(reports[r].fleet_energy_j, reports[r - 1].fleet_energy_j);
+  }
+  EXPECT_DOUBLE_EQ(sim.now(), 120.0);
+}
+
+TEST(Campaign, AdaptiveBudgetReactsToError) {
+  sl::Rng rng(3);
+  auto cloud = make_cloud(rng);
+  ss::Simulator sim;
+  sh::SensingCampaign::Config cfg;
+  cfg.rounds = 8;
+  cfg.initial_budget = 60;
+  cfg.adaptive = true;
+  cfg.sampler.m_min = 8;
+  cfg.sampler.m_max = 90;
+  cfg.sampler.target_error = 0.2;  // loose: the budget should shrink
+  sh::SensingCampaign campaign(cloud, sim, cfg);
+  const auto reports = campaign.run(rng);
+  ASSERT_EQ(reports.size(), 8u);
+  EXPECT_LT(reports.back().budget, reports.front().budget);
+}
+
+TEST(Campaign, ValidatesConfig) {
+  sl::Rng rng(4);
+  auto cloud = make_cloud(rng);
+  ss::Simulator sim;
+  sh::SensingCampaign::Config cfg;
+  cfg.rounds = 0;
+  EXPECT_THROW(sh::SensingCampaign(cloud, sim, cfg), std::invalid_argument);
+  cfg.rounds = 1;
+  cfg.period_s = 0.0;
+  EXPECT_THROW(sh::SensingCampaign(cloud, sim, cfg), std::invalid_argument);
+  cfg.period_s = 1.0;
+  cfg.initial_budget = 0;
+  EXPECT_THROW(sh::SensingCampaign(cloud, sim, cfg), std::invalid_argument);
+}
+
+TEST(Campaign, TinyBatteriesDecayAcrossRounds) {
+  sl::Rng rng(5);
+  // ~12 reading+radio cycles per phone before death.
+  auto cloud = make_cloud(rng, 12 * (0.0002 + 5e-5));
+  ss::Simulator sim;
+  sh::SensingCampaign::Config cfg;
+  cfg.rounds = 30;
+  cfg.initial_budget = 60;
+  sh::SensingCampaign campaign(cloud, sim, cfg);
+  const auto reports = campaign.run(rng);
+  EXPECT_LT(reports.back().m_used, reports.front().m_used);
+}

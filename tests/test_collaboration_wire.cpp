@@ -1,0 +1,173 @@
+// Tests for the sensor-sharing service and the wire codec.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "middleware/collaboration.h"
+#include "middleware/wire.h"
+
+namespace mw = sensedroid::middleware;
+namespace sn = sensedroid::sensing;
+namespace sl = sensedroid::linalg;
+namespace ss = sensedroid::sim;
+
+namespace {
+
+// A broker pre-loaded with three temperature reporters on a line.
+mw::Broker seeded_broker() {
+  mw::Broker broker(100, {0.0, 0.0});
+  for (mw::NodeId id = 1; id <= 3; ++id) {
+    mw::NodeCapabilities caps;
+    caps.node = id;
+    caps.position = {static_cast<double>(id) * 10.0, 0.0};
+    caps.sensors = {sn::SensorKind::kTemperature};
+    broker.registry().join(caps);
+    broker.store().insert(mw::Record{id, sn::SensorKind::kTemperature,
+                                     10.0, 20.0 + id});
+  }
+  return broker;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- collaboration ----
+
+TEST(SensorSharing, BlendsNearestReadings) {
+  auto broker = seeded_broker();
+  mw::SensorSharingService sharing(broker);
+  const auto reading = sharing.borrow(sn::SensorKind::kTemperature,
+                                      {12.0, 0.0}, 11.0);
+  ASSERT_TRUE(reading.has_value());
+  EXPECT_EQ(reading->contributors, 3u);
+  // Weighted toward node 1 (value 21) at distance 2.
+  EXPECT_GT(reading->value, 20.9);
+  EXPECT_LT(reading->value, 22.5);
+  EXPECT_NEAR(reading->reliability, 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(reading->newest_timestamp, 10.0);
+}
+
+TEST(SensorSharing, StaleRecordsIgnored) {
+  auto broker = seeded_broker();
+  mw::SensorSharingService sharing(broker, {.max_age_s = 5.0});
+  // Records are at t=10; asking at t=100 makes them stale.
+  EXPECT_FALSE(sharing.borrow(sn::SensorKind::kTemperature, {12.0, 0.0},
+                              100.0)
+                   .has_value());
+}
+
+TEST(SensorSharing, RangeLimitApplies) {
+  auto broker = seeded_broker();
+  mw::SensorSharingService sharing(broker, {.max_range_m = 5.0});
+  EXPECT_FALSE(sharing.borrow(sn::SensorKind::kTemperature,
+                              {100.0, 0.0}, 11.0)
+                   .has_value());
+}
+
+TEST(SensorSharing, UsesFreshestRecordPerNode) {
+  auto broker = seeded_broker();
+  // Node 1 reports again with a new value.
+  broker.store().insert(
+      mw::Record{1, sn::SensorKind::kTemperature, 12.0, 30.0});
+  mw::SensorSharingService sharing(broker, {.k_nearest = 1});
+  const auto reading =
+      sharing.borrow(sn::SensorKind::kTemperature, {10.0, 0.0}, 13.0);
+  ASSERT_TRUE(reading.has_value());
+  EXPECT_DOUBLE_EQ(reading->value, 30.0);
+  EXPECT_DOUBLE_EQ(reading->newest_timestamp, 12.0);
+}
+
+TEST(SensorSharing, MissingSensorKindGivesNothing) {
+  auto broker = seeded_broker();
+  mw::SensorSharingService sharing(broker);
+  EXPECT_FALSE(
+      sharing.borrow(sn::SensorKind::kGps, {12.0, 0.0}, 11.0).has_value());
+}
+
+TEST(SensorSharing, DepartedNodesAreSkipped) {
+  auto broker = seeded_broker();
+  broker.registry().leave(1);
+  broker.registry().leave(2);
+  mw::SensorSharingService sharing(broker);
+  const auto reading =
+      sharing.borrow(sn::SensorKind::kTemperature, {12.0, 0.0}, 11.0);
+  ASSERT_TRUE(reading.has_value());
+  EXPECT_EQ(reading->contributors, 1u);  // only node 3 remains
+  EXPECT_DOUBLE_EQ(reading->value, 23.0);
+}
+
+// --------------------------------------------------------------- wire ----
+
+TEST(Wire, Crc32KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (the classic check value).
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(mw::crc32(data), 0xCBF43926u);
+}
+
+TEST(Wire, RoundTripsEveryPayloadKind) {
+  const mw::Message scalar{"t/scalar", 7, 1.5, 42.0};
+  const mw::Message vec{"t/vec", 8, 2.5, sl::Vector{1.0, -2.0, 3.5}};
+  const mw::Message text{"t/str", 9, 3.5, std::string("hello")};
+  const mw::Message rec{"t/rec", 10, 4.5,
+                        mw::Record{5, sn::SensorKind::kGps, 4.0, 0.9}};
+  for (const auto& msg : {scalar, vec, text, rec}) {
+    const auto frame = mw::encode_message(msg);
+    const auto back = mw::decode_message(frame);
+    ASSERT_TRUE(back.has_value()) << msg.topic;
+    EXPECT_EQ(back->topic, msg.topic);
+    EXPECT_EQ(back->sender, msg.sender);
+    EXPECT_DOUBLE_EQ(back->timestamp, msg.timestamp);
+    EXPECT_EQ(back->payload.index(), msg.payload.index());
+  }
+}
+
+TEST(Wire, VectorPayloadValuesSurvive) {
+  sl::Vector v{3.14159, -2.71828, 0.0, 1e-12, 1e12};
+  const auto frame = mw::encode_message({"v", 1, 0.0, v});
+  const auto back = mw::decode_message(frame);
+  ASSERT_TRUE(back.has_value());
+  const auto& got = std::get<sl::Vector>(back->payload);
+  ASSERT_EQ(got.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], v[i]);
+  }
+}
+
+TEST(Wire, DetectsSingleBitCorruption) {
+  const auto frame = mw::encode_message(
+      {"sensor/temperature", 3, 9.0,
+       mw::Record{3, sn::SensorKind::kTemperature, 9.0, 21.5}});
+  for (std::size_t byte = 0; byte < frame.size(); byte += 3) {
+    auto corrupted = frame;
+    corrupted[byte] ^= 0x10;
+    EXPECT_FALSE(mw::decode_message(corrupted).has_value())
+        << "flip at byte " << byte;
+  }
+}
+
+TEST(Wire, RejectsTruncatedFrames) {
+  const auto frame = mw::encode_message({"t", 1, 0.0, 1.0});
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(
+        mw::decode_message(std::span(frame.data(), len)).has_value());
+  }
+}
+
+TEST(Wire, RejectsBadSensorTagAndTrailingBytes) {
+  auto frame = mw::encode_message(
+      {"t", 1, 0.0, mw::Record{1, sn::SensorKind::kGps, 0.0, 1.0}});
+  // Append a stray byte and refresh the CRC so only the length is wrong.
+  frame.resize(frame.size() - 4);
+  frame.push_back(0xAB);
+  const auto crc = mw::crc32(frame);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  EXPECT_FALSE(mw::decode_message(frame).has_value());
+}
+
+TEST(Wire, EncodedSizeIsDeterministic) {
+  const mw::Message msg{"abc", 1, 0.0, 2.0};
+  EXPECT_EQ(mw::encode_message(msg).size(), mw::encode_message(msg).size());
+  // 2 (len) + 3 (topic) + 4 (sender) + 8 (ts) + 1 (tag) + 8 (f64) + 4 (crc).
+  EXPECT_EQ(mw::encode_message(msg).size(), 30u);
+}

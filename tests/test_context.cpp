@@ -1,0 +1,269 @@
+// Tests for context processing: features, activity, IsDriving, IsIndoor,
+// and group contexts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "context/activity.h"
+#include "context/context_engine.h"
+#include "context/group_context.h"
+#include "context/is_driving.h"
+#include "context/is_indoor.h"
+#include "linalg/vector_ops.h"
+#include "sensing/probe.h"
+#include "sensing/signals.h"
+
+namespace sx = sensedroid::context;
+namespace sn = sensedroid::sensing;
+namespace sl = sensedroid::linalg;
+
+namespace {
+
+// A sensor whose truth replays a fixed trace.
+sn::SimulatedSensor trace_sensor(sl::Vector trace, sn::SensorKind kind,
+                                 sn::QualityTier tier =
+                                     sn::QualityTier::kMidrange) {
+  return sn::SimulatedSensor(
+      kind, tier,
+      [t = std::move(trace)](std::size_t i) { return t[i % t.size()]; }, 11);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ features ----
+
+TEST(Features, PureToneDominantFrequency) {
+  const std::size_t n = 256;
+  const double fs = 50.0;
+  sl::Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 4.0 * static_cast<double>(i) /
+                    fs);
+  }
+  auto f = sx::extract_features(x, fs);
+  EXPECT_NEAR(f.dominant_freq_hz, 4.0, 0.3);
+  EXPECT_GT(f.band_energy_mid, f.band_energy_high);
+  EXPECT_GT(f.band_energy_mid, f.band_energy_low);
+}
+
+TEST(Features, ConstantSignalIsQuiet) {
+  sl::Vector x(64, 5.0);
+  auto f = sx::extract_features(x, 50.0);
+  EXPECT_DOUBLE_EQ(f.mean, 5.0);
+  EXPECT_NEAR(f.variance, 0.0, 1e-12);
+  EXPECT_NEAR(f.zero_crossing_rate, 0.0, 0.05);
+}
+
+TEST(Features, ZeroCrossingRateOfAlternatingSignal) {
+  sl::Vector x(100);
+  for (std::size_t i = 0; i < 100; ++i) x[i] = i % 2 == 0 ? 1.0 : -1.0;
+  auto f = sx::extract_features(x, 50.0);
+  EXPECT_GT(f.zero_crossing_rate, 0.9);
+}
+
+TEST(Features, Validation) {
+  sl::Vector x(8, 0.0);
+  EXPECT_THROW(sx::extract_features({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(sx::extract_features(x, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ activity ----
+
+TEST(Activity, ClassifiesSyntheticRegimes) {
+  sl::Rng rng(1);
+  const double fs = 50.0;
+  int correct = 0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    for (auto truth : {sn::Activity::kIdle, sn::Activity::kWalking,
+                       sn::Activity::kDriving}) {
+      auto x = sn::accelerometer_trace(truth, 256, fs, rng);
+      const auto predicted =
+          sx::classify_activity(sx::extract_features(x, fs));
+      if (predicted == truth) ++correct;
+    }
+  }
+  EXPECT_GE(correct, trials * 3 * 8 / 10);  // >= 80% accuracy
+}
+
+TEST(Activity, AccuracyOnLabeledTrace) {
+  sl::Rng rng(2);
+  auto trace = sn::labeled_activity_trace(12, 256, 50.0, rng);
+  const double acc = sx::activity_accuracy(trace, 256, 50.0);
+  EXPECT_GT(acc, 0.75);
+}
+
+TEST(Activity, AccuracyValidatesWindow) {
+  sl::Rng rng(3);
+  auto trace = sn::labeled_activity_trace(1, 64, 50.0, rng);
+  EXPECT_THROW(sx::activity_accuracy(trace, 128, 50.0),
+               std::invalid_argument);
+  EXPECT_THROW(sx::activity_accuracy(trace, 0, 50.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------ context engine ----
+
+TEST(ContextEngine, ContinuousBatchPassesThrough) {
+  sl::Rng rng(4);
+  auto trace = sn::accelerometer_trace(sn::Activity::kWalking, 256, 50.0, rng);
+  sn::SensingProbe probe(
+      trace_sensor(trace, sn::SensorKind::kAccelerometer,
+                   sn::QualityTier::kFlagship),
+      {.mode = sn::SamplingMode::kContinuous, .window = 256, .budget = 256});
+  sx::ContextEngine engine(50.0);
+  auto batch = probe.acquire(0);
+  auto w = engine.process(batch, 0.0);
+  EXPECT_EQ(w.reconstruction.size(), 256u);
+  EXPECT_EQ(w.samples_used, 256u);
+  EXPECT_GT(w.features.variance, 0.1);
+}
+
+TEST(ContextEngine, CompressiveBatchReconstructsClose) {
+  sl::Rng rng(5);
+  auto trace = sn::accelerometer_trace(sn::Activity::kWalking, 256, 50.0, rng);
+  sn::SensingProbe cont(
+      trace_sensor(trace, sn::SensorKind::kAccelerometer,
+                   sn::QualityTier::kFlagship),
+      {.mode = sn::SamplingMode::kContinuous, .window = 256, .budget = 256});
+  sn::SensingProbe comp(
+      trace_sensor(trace, sn::SensorKind::kAccelerometer,
+                   sn::QualityTier::kFlagship),
+      {.mode = sn::SamplingMode::kCompressive, .window = 256, .budget = 64,
+       .seed = 9});
+  sx::ContextEngine engine(50.0);
+  auto full = engine.process(cont.acquire(0), 0.0);
+  auto rec = engine.process(comp.acquire(0), 0.025);
+  EXPECT_EQ(rec.samples_used, 64u);
+  EXPECT_LT(rec.sensing_energy_j, full.sensing_energy_j);
+  // The walking gait must survive reconstruction.
+  EXPECT_NEAR(rec.features.dominant_freq_hz, full.features.dominant_freq_hz,
+              0.5);
+}
+
+TEST(ContextEngine, ValidatesRate) {
+  EXPECT_THROW(sx::ContextEngine(0.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- IsDriving ----
+
+TEST(IsDriving, DetectsDrivingFromCompressiveWindow) {
+  sl::Rng rng(6);
+  sx::IsDrivingDetector detector(50.0);
+  int correct = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    for (bool driving : {false, true}) {
+      auto trace = sn::accelerometer_trace(
+          driving ? sn::Activity::kDriving : sn::Activity::kWalking, 256,
+          50.0, rng);
+      sn::SensingProbe probe(
+          trace_sensor(trace, sn::SensorKind::kAccelerometer,
+                       sn::QualityTier::kFlagship),
+          {.mode = sn::SamplingMode::kCompressive, .window = 256,
+           .budget = 64, .seed = static_cast<std::uint64_t>(t * 2 + driving)});
+      auto d = detector.decide(probe.acquire(0), 0.025);
+      if (d.is_driving == driving) ++correct;
+    }
+  }
+  EXPECT_GE(correct, trials * 2 * 7 / 10);
+}
+
+// ------------------------------------------------------------ IsIndoor ----
+
+TEST(IsIndoor, FlagsFuseGpsAndWifi) {
+  sl::Vector gps{0.9, 0.1, 0.9, 0.1};
+  sl::Vector wifi{1.0, 8.0, 8.0, 1.0};
+  auto flags = sx::indoor_flags(gps, wifi);
+  EXPECT_FALSE(flags[0]);  // strong fix, no APs: outdoor
+  EXPECT_TRUE(flags[1]);   // weak fix, many APs: indoor
+  EXPECT_FALSE(flags[2]);  // strong fix wins over APs
+  EXPECT_TRUE(flags[3]);   // weak fix wins over no APs
+  sl::Vector bad{0.5};
+  EXPECT_THROW(sx::indoor_flags(gps, bad), std::invalid_argument);
+}
+
+TEST(IsIndoor, CompressiveSavesEnergyAtSimilarAccuracy) {
+  // The paper's E7 claim in miniature.
+  sl::Rng rng(7);
+  const std::size_t day = 1024;
+  auto schedule = sn::indoor_schedule(day, 100.0, rng);
+  auto gps = sn::gps_quality_trace(schedule, rng);
+  auto wifi = sn::wifi_count_trace(schedule, rng);
+
+  auto make_probe = [&](const sl::Vector& trace, sn::SensorKind kind,
+                        sn::SamplingMode mode, std::size_t budget) {
+    return sn::SensingProbe(
+        trace_sensor(trace, kind, sn::QualityTier::kFlagship),
+        {.mode = mode, .window = 256, .budget = budget, .seed = 21});
+  };
+
+  auto gps_cont = make_probe(gps, sn::SensorKind::kGps,
+                             sn::SamplingMode::kContinuous, 256);
+  auto wifi_cont = make_probe(wifi, sn::SensorKind::kWifiScanner,
+                              sn::SamplingMode::kContinuous, 256);
+  auto full = sx::evaluate_indoor_detector(schedule, gps_cont, wifi_cont);
+
+  auto gps_comp = make_probe(gps, sn::SensorKind::kGps,
+                             sn::SamplingMode::kCompressive, 48);
+  auto wifi_comp = make_probe(wifi, sn::SensorKind::kWifiScanner,
+                              sn::SamplingMode::kCompressive, 48);
+  auto comp = sx::evaluate_indoor_detector(schedule, gps_comp, wifi_comp);
+
+  EXPECT_GT(full.accuracy, 0.9);
+  EXPECT_GT(comp.accuracy, full.accuracy - 0.1);  // similar accuracy
+  EXPECT_LT(comp.sensing_energy_j, 0.3 * full.sensing_energy_j);  // big save
+}
+
+TEST(IsIndoor, EvaluateValidatesWindows) {
+  sl::Rng rng(8);
+  auto schedule = sn::indoor_schedule(100, 20.0, rng);
+  auto gps = sn::gps_quality_trace(schedule, rng);
+  auto wifi = sn::wifi_count_trace(schedule, rng);
+  sn::SensingProbe g(trace_sensor(gps, sn::SensorKind::kGps),
+                     {.mode = sn::SamplingMode::kCompressive, .window = 64,
+                      .budget = 16});
+  sn::SensingProbe w(trace_sensor(wifi, sn::SensorKind::kWifiScanner),
+                     {.mode = sn::SamplingMode::kCompressive, .window = 32,
+                      .budget = 16});
+  EXPECT_THROW(sx::evaluate_indoor_detector(schedule, g, w),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- group ----
+
+TEST(Group, StressQuotientBlendsMeanAndWorst) {
+  std::vector<double> calm{0.1, 0.1, 0.1};
+  std::vector<double> one_stressed{0.1, 0.1, 0.9};
+  const double q_calm = sx::group_stress_quotient(calm);
+  const double q_mixed = sx::group_stress_quotient(one_stressed);
+  EXPECT_NEAR(q_calm, 0.1, 1e-9);
+  EXPECT_GT(q_mixed, (0.1 + 0.1 + 0.9) / 3.0);  // worst member amplifies
+  EXPECT_THROW(sx::group_stress_quotient({}), std::invalid_argument);
+  std::vector<double> bad{1.5};
+  EXPECT_THROW(sx::group_stress_quotient(bad), std::invalid_argument);
+}
+
+TEST(Group, HealthIndicatorRange) {
+  std::vector<sx::MemberDay> healthy{{0.1, 60.0, 8.0, 0.05},
+                                     {0.2, 50.0, 7.5, 0.1}};
+  std::vector<sx::MemberDay> unhealthy{{0.9, 5.0, 4.0, 0.8}};
+  const double h = sx::family_health_indicator(healthy);
+  const double u = sx::family_health_indicator(unhealthy);
+  EXPECT_GT(h, 80.0);
+  EXPECT_LT(u, 40.0);
+  EXPECT_LE(h, 100.0);
+  EXPECT_GE(u, 0.0);
+  EXPECT_THROW(sx::family_health_indicator({}), std::invalid_argument);
+}
+
+TEST(Group, MajorityAndAgreement) {
+  std::vector<bool> flags{true, true, false};
+  EXPECT_TRUE(sx::majority_context(flags));
+  EXPECT_NEAR(sx::context_agreement(flags), 2.0 / 3.0, 1e-12);
+  std::vector<bool> tie{true, false};
+  EXPECT_FALSE(sx::majority_context(tie));  // ties are false
+  EXPECT_THROW(sx::majority_context(std::vector<bool>{}), std::invalid_argument);
+  EXPECT_THROW(sx::context_agreement(std::vector<bool>{}), std::invalid_argument);
+}

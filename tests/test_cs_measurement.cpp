@@ -1,0 +1,145 @@
+// Tests for measurement plans and sensor-noise models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cs/measurement.h"
+#include "linalg/basis.h"
+#include "linalg/vector_ops.h"
+
+namespace sc = sensedroid::cs;
+namespace sl = sensedroid::linalg;
+
+TEST(SensorNoise, HomogeneousFillsStddev) {
+  auto n = sc::SensorNoise::homogeneous(4, 0.5);
+  ASSERT_EQ(n.size(), 4u);
+  for (double s : n.stddev) EXPECT_DOUBLE_EQ(s, 0.5);
+  EXPECT_THROW(sc::SensorNoise::homogeneous(3, -1.0), std::invalid_argument);
+}
+
+TEST(SensorNoise, HeterogeneousWithinBounds) {
+  sl::Rng rng(1);
+  auto n = sc::SensorNoise::heterogeneous(100, 0.1, 0.9, rng);
+  for (double s : n.stddev) {
+    EXPECT_GE(s, 0.1);
+    EXPECT_LT(s, 0.9);
+  }
+  EXPECT_THROW(sc::SensorNoise::heterogeneous(5, 0.9, 0.1, rng),
+               std::invalid_argument);
+}
+
+TEST(SensorNoise, CovarianceIsDiagonalOfVariances) {
+  auto n = sc::SensorNoise::homogeneous(3, 2.0);
+  auto v = n.covariance();
+  EXPECT_DOUBLE_EQ(v(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(v(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(v(0, 1), 0.0);
+}
+
+TEST(SensorNoise, SampleRespectsZeroStddev) {
+  auto n = sc::SensorNoise::homogeneous(5, 0.0);
+  sl::Rng rng(2);
+  auto w = n.sample(rng);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(SensorNoise, SampleMomentsMatch) {
+  auto n = sc::SensorNoise::homogeneous(20000, 0.7);
+  sl::Rng rng(3);
+  auto w = n.sample(rng);
+  EXPECT_NEAR(sl::mean(w), 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sl::variance(w)), 0.7, 0.02);
+}
+
+TEST(MeasurementPlan, RandomPlanIsSortedDistinct) {
+  sl::Rng rng(4);
+  auto p = sc::MeasurementPlan::random(100, 25, rng);
+  EXPECT_EQ(p.signal_size(), 100u);
+  EXPECT_EQ(p.measurement_count(), 25u);
+  auto idx = p.indices();
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    EXPECT_LT(idx[i - 1], idx[i]);
+  }
+  EXPECT_LT(idx.back(), 100u);
+}
+
+TEST(MeasurementPlan, FromIndicesValidates) {
+  EXPECT_NO_THROW(sc::MeasurementPlan::from_indices(10, {1, 3, 7}));
+  EXPECT_THROW(sc::MeasurementPlan::from_indices(10, {3, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(sc::MeasurementPlan::from_indices(10, {1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(sc::MeasurementPlan::from_indices(10, {10}),
+               std::invalid_argument);
+}
+
+TEST(MeasurementPlan, UniformGridEvenlySpaced) {
+  auto p = sc::MeasurementPlan::uniform_grid(100, 10);
+  auto idx = p.indices();
+  ASSERT_EQ(idx.size(), 10u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[5], 50u);
+  EXPECT_THROW(sc::MeasurementPlan::uniform_grid(5, 6), std::invalid_argument);
+}
+
+TEST(MeasurementPlan, UniformGridFullCoverage) {
+  auto p = sc::MeasurementPlan::uniform_grid(8, 8);
+  auto idx = p.indices();
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(idx[i], i);
+}
+
+TEST(MeasurementPlan, SampleSignalPicksValues) {
+  auto p = sc::MeasurementPlan::from_indices(5, {0, 2, 4});
+  sl::Vector x{10, 11, 12, 13, 14};
+  auto s = p.sample_signal(x);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0], 10.0);
+  EXPECT_DOUBLE_EQ(s[1], 12.0);
+  EXPECT_DOUBLE_EQ(s[2], 14.0);
+  sl::Vector bad(4);
+  EXPECT_THROW(p.sample_signal(bad), std::invalid_argument);
+}
+
+TEST(MeasurementPlan, SelectRowsMatchesManualSelection) {
+  auto basis = sl::dct_basis(6);
+  auto p = sc::MeasurementPlan::from_indices(6, {1, 4});
+  auto sel = p.select_rows(basis);
+  EXPECT_EQ(sel.rows(), 2u);
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_DOUBLE_EQ(sel(0, c), basis(1, c));
+    EXPECT_DOUBLE_EQ(sel(1, c), basis(4, c));
+  }
+  auto small = sl::dct_basis(5);
+  EXPECT_THROW(p.select_rows(small), std::invalid_argument);
+}
+
+TEST(Measure, ExactMeasurementIsNoiseFree) {
+  sl::Vector x{1, 2, 3, 4};
+  auto p = sc::MeasurementPlan::from_indices(4, {1, 3});
+  auto m = sc::measure_exact(x, p);
+  EXPECT_DOUBLE_EQ(m.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.values[1], 4.0);
+  for (double s : m.noise.stddev) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(Measure, NoisyMeasurementPerturbsValues) {
+  sl::Rng rng(9);
+  sl::Vector x(50, 1.0);
+  auto p = sc::MeasurementPlan::random(50, 20, rng);
+  auto noise = sc::SensorNoise::homogeneous(20, 0.1);
+  auto m = sc::measure(x, p, noise, rng);
+  ASSERT_EQ(m.values.size(), 20u);
+  double dev = 0.0;
+  for (double v : m.values) dev += std::abs(v - 1.0);
+  EXPECT_GT(dev, 0.0);   // noise actually applied
+  EXPECT_LT(dev, 20.0);  // but bounded
+}
+
+TEST(Measure, RejectsMismatchedNoise) {
+  sl::Rng rng(9);
+  sl::Vector x(10, 0.0);
+  auto p = sc::MeasurementPlan::from_indices(10, {0, 5});
+  auto noise = sc::SensorNoise::homogeneous(3, 0.1);
+  EXPECT_THROW(sc::measure(x, p, noise, rng), std::invalid_argument);
+}

@@ -1,0 +1,317 @@
+// Tests for OLS/GLS (eqs. 11-12), OMP (eq. 13), simplex, and basis
+// pursuit (eqs. 9-10), including the recovery properties the paper's
+// analysis relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cs/basis_pursuit.h"
+#include "cs/least_squares.h"
+#include "cs/omp.h"
+#include "cs/simplex.h"
+#include "linalg/basis.h"
+#include "linalg/random.h"
+#include "linalg/vector_ops.h"
+
+namespace sc = sensedroid::cs;
+namespace sl = sensedroid::linalg;
+
+namespace {
+
+sl::Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  sl::Rng rng(seed);
+  sl::Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+  }
+  return a;
+}
+
+// A random K-sparse coefficient vector with magnitudes in [1, 2].
+sl::Vector random_sparse(std::size_t n, std::size_t k, sl::Rng& rng) {
+  sl::Vector alpha(n, 0.0);
+  for (std::size_t j : rng.sample_without_replacement(n, k)) {
+    const double mag = rng.uniform(1.0, 2.0);
+    alpha[j] = rng.bernoulli(0.5) ? mag : -mag;
+  }
+  return alpha;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- OLS / GLS ----
+
+TEST(Ols, RecoversExactCoefficients) {
+  auto a = random_matrix(12, 4, 5);
+  sl::Rng rng(6);
+  auto ctrue = rng.gaussian_vector(4);
+  auto y = a * ctrue;
+  auto c = sc::solve_ols(a, y);
+  EXPECT_LT(sl::relative_error(c, ctrue), 1e-10);
+}
+
+TEST(Gls, MatchesOlsUnderHomogeneousNoiseModel) {
+  auto a = random_matrix(15, 5, 7);
+  sl::Rng rng(8);
+  auto y = rng.gaussian_vector(15);
+  auto v = sl::Matrix::identity(15) * 0.25;
+  auto c_gls = sc::solve_gls(a, y, v);
+  auto c_ols = sc::solve_ols(a, y);
+  EXPECT_LT(sl::relative_error(c_gls, c_ols), 1e-9);
+}
+
+TEST(Gls, DownweightsNoisySensorCorrectly) {
+  // Two unknowns, three sensors; the third sensor is wildly wrong but has
+  // huge declared variance — GLS must nearly ignore it, OLS must not.
+  sl::Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  sl::Vector y{1.0, 2.0, 100.0};
+  sl::Vector stddev{0.01, 0.01, 1000.0};
+  auto c_gls = sc::solve_gls_diag(a, y, stddev);
+  EXPECT_NEAR(c_gls[0], 1.0, 1e-3);
+  EXPECT_NEAR(c_gls[1], 2.0, 1e-3);
+  auto c_ols = sc::solve_ols(a, y);
+  EXPECT_GT(std::abs(c_ols[0] - 1.0), 1.0);  // OLS is pulled far away
+}
+
+TEST(Gls, DiagonalPathMatchesDenseCovariance) {
+  auto a = random_matrix(10, 3, 21);
+  sl::Rng rng(22);
+  auto y = rng.gaussian_vector(10);
+  sl::Vector stddev(10);
+  for (auto& s : stddev) s = rng.uniform(0.1, 2.0);
+  sl::Vector var(10);
+  for (std::size_t i = 0; i < 10; ++i) var[i] = stddev[i] * stddev[i];
+  auto dense = sc::solve_gls(a, y, sl::Matrix::diagonal(var));
+  auto diag = sc::solve_gls_diag(a, y, stddev);
+  EXPECT_LT(sl::relative_error(diag, dense), 1e-9);
+}
+
+TEST(Gls, AllExactSensorsFallsBackToOls) {
+  auto a = random_matrix(8, 3, 30);
+  sl::Rng rng(31);
+  auto y = rng.gaussian_vector(8);
+  sl::Vector zeros(8, 0.0);
+  auto c1 = sc::solve_gls_diag(a, y, zeros);
+  auto c2 = sc::solve_ols(a, y);
+  EXPECT_LT(sl::relative_error(c1, c2), 1e-12);
+}
+
+TEST(Ridge, ShrinksTowardZero) {
+  auto a = random_matrix(10, 4, 33);
+  sl::Rng rng(34);
+  auto y = rng.gaussian_vector(10);
+  auto c0 = sc::solve_ridge(a, y, 0.0);
+  auto c_ols = sc::solve_ols(a, y);
+  EXPECT_LT(sl::relative_error(c0, c_ols), 1e-8);
+  auto c_big = sc::solve_ridge(a, y, 1e6);
+  EXPECT_LT(sl::norm2(c_big), 1e-3);
+  EXPECT_THROW(sc::solve_ridge(a, y, -1.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- OMP ----
+
+TEST(Omp, RecoversSparseSignalExactly) {
+  const std::size_t n = 64, m = 24, k = 5;
+  sl::Rng rng(40);
+  auto a = random_matrix(m, n, 41);
+  auto alpha = random_sparse(n, k, rng);
+  auto y = a * alpha;
+  auto sol = sc::omp_solve(a, y, {.max_sparsity = k});
+  EXPECT_LT(sl::relative_error(sol.coefficients, alpha), 1e-8);
+  EXPECT_EQ(sol.support.size(), k);
+  EXPECT_LT(sol.residual_norm, 1e-8);
+}
+
+TEST(Omp, StopsAtResidualTolerance) {
+  const std::size_t n = 32, m = 16;
+  sl::Rng rng(42);
+  auto a = random_matrix(m, n, 43);
+  auto alpha = random_sparse(n, 3, rng);
+  auto y = a * alpha;
+  // Generous budget: must stop once residual dies, not exhaust the budget.
+  auto sol = sc::omp_solve(a, y, {.max_sparsity = 10, .residual_tol = 1e-8});
+  EXPECT_LE(sol.support.size(), 4u);
+}
+
+TEST(Omp, HandlesZeroSignal) {
+  auto a = random_matrix(8, 16, 44);
+  sl::Vector y(8, 0.0);
+  auto sol = sc::omp_solve(a, y);
+  EXPECT_TRUE(sol.support.empty());
+  EXPECT_DOUBLE_EQ(sol.residual_norm, 0.0);
+}
+
+TEST(Omp, ValidatesInputs) {
+  sl::Matrix a(4, 8);
+  sl::Vector y(3);
+  EXPECT_THROW(sc::omp_solve(a, y), std::invalid_argument);
+  EXPECT_THROW(sc::omp_solve(sl::Matrix{}, sl::Vector{}),
+               std::invalid_argument);
+}
+
+TEST(Omp, ReconstructSynthesizesFromSupport) {
+  const std::size_t n = 32;
+  auto basis = sl::dct_basis(n);
+  sl::Rng rng(45);
+  auto alpha = random_sparse(n, 4, rng);
+  auto x = sl::synthesize(basis, alpha);
+  sc::SparseSolution sol;
+  sol.coefficients = alpha;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (alpha[j] != 0.0) sol.support.push_back(j);
+  }
+  auto back = sc::reconstruct(basis, sol);
+  EXPECT_LT(sl::relative_error(back, x), 1e-12);
+}
+
+TEST(Omp, MinImprovementGuardsAgainstNoiseFitting) {
+  const std::size_t n = 48, m = 24;
+  sl::Rng rng(46);
+  auto a = random_matrix(m, n, 47);
+  auto alpha = random_sparse(n, 3, rng);
+  auto y = a * alpha;
+  for (double& v : y) v += rng.gaussian(0.0, 0.01);
+  auto sol = sc::omp_solve(a, y, {.max_sparsity = 20,
+                                  .min_improvement = 0.05});
+  // Should find roughly the true support, not 20 atoms of noise.
+  EXPECT_LE(sol.support.size(), 6u);
+}
+
+// ------------------------------------------------------------- simplex ----
+
+TEST(Simplex, SolvesTextbookProblem) {
+  // min -3x - 5y s.t. x + s1 = 4; 2y + s2 = 12; 3x + 2y + s3 = 18.
+  // Optimum at x=2, y=6, objective -36.
+  sc::LpProblem p;
+  p.a = sl::Matrix{{1, 0, 1, 0, 0}, {0, 2, 0, 1, 0}, {3, 2, 0, 0, 1}};
+  p.b = {4, 12, 18};
+  p.c = {-3, -5, 0, 0, 0};
+  auto sol = sc::simplex_solve(p);
+  ASSERT_EQ(sol.status, sc::LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x1 + x2 = -1 with x >= 0 is infeasible... but b<0 gets normalized;
+  // use x1 = 1, x1 = 2 instead (contradictory equalities).
+  sc::LpProblem p;
+  p.a = sl::Matrix{{1, 0}, {1, 0}};
+  p.b = {1, 2};
+  p.c = {1, 1};
+  auto sol = sc::simplex_solve(p);
+  EXPECT_EQ(sol.status, sc::LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x s.t. x - y = 0: x can grow without bound along x = y.
+  sc::LpProblem p;
+  p.a = sl::Matrix{{1, -1}};
+  p.b = {0};
+  p.c = {-1, 0};
+  auto sol = sc::simplex_solve(p);
+  EXPECT_EQ(sol.status, sc::LpStatus::kUnbounded);
+}
+
+TEST(Simplex, HandlesNegativeRhs) {
+  // -x = -5 -> x = 5.
+  sc::LpProblem p;
+  p.a = sl::Matrix{{-1.0}};
+  p.b = {-5.0};
+  p.c = {1.0};
+  auto sol = sc::simplex_solve(p);
+  ASSERT_EQ(sol.status, sc::LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 5.0, 1e-9);
+}
+
+TEST(Simplex, HandlesRedundantConstraints) {
+  // Duplicate rows must not break phase 1.
+  sc::LpProblem p;
+  p.a = sl::Matrix{{1, 1}, {1, 1}};
+  p.b = {2, 2};
+  p.c = {1, 2};
+  auto sol = sc::simplex_solve(p);
+  ASSERT_EQ(sol.status, sc::LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);  // all weight on x1
+}
+
+TEST(Simplex, ValidatesShapes) {
+  sc::LpProblem p;
+  p.a = sl::Matrix(2, 3);
+  p.b = {1.0};
+  p.c = {1.0, 1.0, 1.0};
+  EXPECT_THROW(sc::simplex_solve(p), std::invalid_argument);
+}
+
+// ------------------------------------------------------- basis pursuit ----
+
+TEST(BasisPursuit, RecoversSparseSignal) {
+  const std::size_t n = 40, m = 20, k = 4;
+  sl::Rng rng(50);
+  auto a = random_matrix(m, n, 51);
+  auto alpha = random_sparse(n, k, rng);
+  auto y = a * alpha;
+  auto sol = sc::basis_pursuit(a, y);
+  EXPECT_LT(sl::relative_error(sol.coefficients, alpha), 1e-6);
+  EXPECT_LT(sol.residual_norm, 1e-6);
+}
+
+TEST(BasisPursuit, AgreesWithOmpOnEasyInstances) {
+  const std::size_t n = 32, m = 16, k = 3;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    sl::Rng rng(60 + seed);
+    auto a = random_matrix(m, n, 70 + seed);
+    auto alpha = random_sparse(n, k, rng);
+    auto y = a * alpha;
+    auto bp = sc::basis_pursuit(a, y);
+    auto omp = sc::omp_solve(a, y, {.max_sparsity = k});
+    EXPECT_LT(sl::relative_error(bp.coefficients, omp.coefficients), 1e-5)
+        << "seed " << seed;
+  }
+}
+
+TEST(BasisPursuit, MinimizesL1AmongSolutions) {
+  // Underdetermined 1x2 system x1 + 2 x2 = 2: the minimum-L1 solution puts
+  // everything on the larger column: x = (0, 1), ||x||_1 = 1.
+  sl::Matrix a{{1.0, 2.0}};
+  sl::Vector y{2.0};
+  auto sol = sc::basis_pursuit(a, y);
+  EXPECT_NEAR(sol.coefficients[0], 0.0, 1e-8);
+  EXPECT_NEAR(sol.coefficients[1], 1.0, 1e-8);
+}
+
+TEST(BasisPursuit, ValidatesInput) {
+  sl::Matrix a(3, 6);
+  sl::Vector y(2);
+  EXPECT_THROW(sc::basis_pursuit(a, y), std::invalid_argument);
+}
+
+// Property sweep: exact recovery holds across (n, m, k) shapes where
+// m >= ~2 k log(n) — the paper's O(K log N) measurement rule.
+class RecoveryPhase
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(RecoveryPhase, OmpRecoveryInTheEasyRegime) {
+  const auto [n, m, k] = GetParam();
+  int successes = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    sl::Rng rng(900 + static_cast<std::uint64_t>(t) * 13 + n);
+    auto a = random_matrix(m, n, 800 + static_cast<std::uint64_t>(t) + n);
+    auto alpha = random_sparse(n, k, rng);
+    auto y = a * alpha;
+    auto sol = sc::omp_solve(a, y, {.max_sparsity = k});
+    if (sl::relative_error(sol.coefficients, alpha) < 1e-6) ++successes;
+  }
+  EXPECT_GE(successes, 9) << "n=" << n << " m=" << m << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EasyRegime, RecoveryPhase,
+    ::testing::Values(std::make_tuple(64, 32, 4),
+                      std::make_tuple(128, 48, 5),
+                      std::make_tuple(96, 40, 4),
+                      std::make_tuple(256, 64, 6)));

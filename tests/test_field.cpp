@@ -1,0 +1,296 @@
+// Tests for spatial fields, zones, traces, generators, and sparsity
+// budgeting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "field/generators.h"
+#include "field/sparsity.h"
+#include "field/spatial_field.h"
+#include "field/traces.h"
+#include "field/zones.h"
+#include "linalg/vector_ops.h"
+
+namespace sf = sensedroid::field;
+namespace sl = sensedroid::linalg;
+
+// ------------------------------------------------------ SpatialField ----
+
+TEST(SpatialField, VectorizeIsColumnStacking) {
+  // Eq. 1: x[k] = f[k mod H, floor(k/H)].
+  sf::SpatialField f(3, 2);  // W=3, H=2
+  // f = [a b c; d e f] laid out with rows i, cols j.
+  f(0, 0) = 1;
+  f(1, 0) = 2;
+  f(0, 1) = 3;
+  f(1, 1) = 4;
+  f(0, 2) = 5;
+  f(1, 2) = 6;
+  auto x = f.vectorize();
+  ASSERT_EQ(x.size(), 6u);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);  // col 0 first
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);  // then col 1
+  EXPECT_DOUBLE_EQ(x[3], 4.0);
+  EXPECT_DOUBLE_EQ(x[4], 5.0);
+  EXPECT_DOUBLE_EQ(x[5], 6.0);
+}
+
+TEST(SpatialField, FromVectorRoundTrip) {
+  sl::Rng rng(1);
+  sf::SpatialField f(5, 7);
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t i = 0; i < 7; ++i) f(i, j) = rng.gaussian();
+  }
+  auto x = f.vectorize();
+  auto g = sf::SpatialField::from_vector(5, 7, x);
+  EXPECT_DOUBLE_EQ(sf::field_nrmse(g, f), 0.0);
+  EXPECT_THROW(sf::SpatialField::from_vector(5, 6, x),
+               std::invalid_argument);
+}
+
+TEST(SpatialField, IndexCoordAreInverse) {
+  sf::SpatialField f(4, 6);
+  for (std::size_t k = 0; k < f.size(); ++k) {
+    const auto c = f.coord_of(k);
+    EXPECT_EQ(f.index_of(c.i, c.j), k);
+    EXPECT_LT(c.i, 6u);
+    EXPECT_LT(c.j, 4u);
+  }
+}
+
+TEST(SpatialField, AtChecksBounds) {
+  sf::SpatialField f(3, 2);
+  EXPECT_THROW(f.at(2, 0), std::out_of_range);
+  EXPECT_THROW(f.at(0, 3), std::out_of_range);
+  EXPECT_NO_THROW(f.at(1, 2));
+}
+
+TEST(SpatialField, ExtractInsertRoundTrip) {
+  sl::Rng rng(2);
+  sf::SpatialField f(8, 8);
+  for (double& v : f.flat()) v = rng.gaussian();
+  auto patch = f.extract(2, 3, 4, 5);
+  EXPECT_EQ(patch.width(), 4u);
+  EXPECT_EQ(patch.height(), 5u);
+  EXPECT_DOUBLE_EQ(patch(0, 0), f(2, 3));
+  sf::SpatialField g(8, 8);
+  g.insert(2, 3, patch);
+  EXPECT_DOUBLE_EQ(g(2, 3), f(2, 3));
+  EXPECT_DOUBLE_EQ(g(6, 6), f(6, 6));
+  EXPECT_THROW(f.extract(5, 5, 4, 4), std::out_of_range);
+}
+
+TEST(SpatialField, Statistics) {
+  sf::SpatialField f(2, 2);
+  f(0, 0) = 1;
+  f(1, 0) = 2;
+  f(0, 1) = 3;
+  f(1, 1) = 6;
+  EXPECT_DOUBLE_EQ(f.min(), 1.0);
+  EXPECT_DOUBLE_EQ(f.max(), 6.0);
+  EXPECT_DOUBLE_EQ(f.mean(), 3.0);
+}
+
+TEST(SpatialField, ArithmeticAndErrors) {
+  sf::SpatialField a(2, 2, 1.0);
+  sf::SpatialField b(2, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 1.0);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+  sf::SpatialField c(3, 2);
+  EXPECT_THROW(a += c, std::invalid_argument);
+  EXPECT_THROW(sf::field_nrmse(a, c), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- zones ----
+
+TEST(ZoneGrid, TilesFieldExactly) {
+  sf::ZoneGrid grid(10, 7, 2, 3);  // 7 rows, 10 cols -> 2x3 zones
+  EXPECT_EQ(grid.zone_count(), 6u);
+  std::size_t total = 0;
+  for (const auto& z : grid.zones()) total += z.size();
+  EXPECT_EQ(total, 70u);
+  // Remainders go to the last row/column of zones.
+  EXPECT_EQ(grid.zone(5).width, 10u - 2 * (10 / 3));
+  EXPECT_EQ(grid.zone(5).height, 7u - (7 / 2));
+}
+
+TEST(ZoneGrid, ZoneAtFindsContainingZone) {
+  sf::ZoneGrid grid(8, 8, 2, 2);
+  EXPECT_EQ(grid.zone_at(0, 0).id, 0u);
+  EXPECT_EQ(grid.zone_at(0, 7).id, 1u);
+  EXPECT_EQ(grid.zone_at(7, 0).id, 2u);
+  EXPECT_EQ(grid.zone_at(7, 7).id, 3u);
+  EXPECT_THROW(grid.zone_at(8, 0), std::out_of_range);
+}
+
+TEST(ZoneGrid, ValidatesConstruction) {
+  EXPECT_THROW(sf::ZoneGrid(4, 4, 0, 2), std::invalid_argument);
+  EXPECT_THROW(sf::ZoneGrid(4, 4, 5, 2), std::invalid_argument);
+}
+
+TEST(ZoneGrid, ExtractStitchRoundTrip) {
+  sl::Rng rng(3);
+  sf::SpatialField f(12, 9);
+  for (double& v : f.flat()) v = rng.gaussian();
+  sf::ZoneGrid grid(12, 9, 3, 4);
+  std::vector<sf::SpatialField> patches;
+  for (std::size_t id = 0; id < grid.zone_count(); ++id) {
+    patches.push_back(grid.extract(f, id));
+  }
+  auto back = sf::stitch(grid, patches);
+  EXPECT_DOUBLE_EQ(sf::field_nrmse(back, f), 0.0);
+}
+
+TEST(ZoneGrid, InsertValidatesPatchShape) {
+  sf::ZoneGrid grid(8, 8, 2, 2);
+  sf::SpatialField f(8, 8);
+  sf::SpatialField bad(3, 3);
+  EXPECT_THROW(grid.insert(f, 0, bad), std::invalid_argument);
+}
+
+// -------------------------------------------------------- generators ----
+
+TEST(Generators, PlumePeaksAtSource) {
+  sf::GaussianSource s{8.0, 8.0, 3.0, 5.0};
+  auto f = sf::gaussian_plume_field(16, 16, {&s, 1}, 1.0);
+  EXPECT_NEAR(f(8, 8), 6.0, 1e-9);     // ambient + amplitude
+  EXPECT_LT(f(0, 0), f(8, 8));         // decays away from source
+  EXPECT_GT(f(0, 0), 0.99);            // but stays above ambient
+}
+
+TEST(Generators, FireFrontIsPiecewise) {
+  sf::FireRegion r{8.0, 8.0, 3.0, 3.0, 600.0};
+  auto f = sf::fire_front_field(16, 16, {&r, 1}, 20.0, 1.0);
+  EXPECT_NEAR(f(8, 8), 620.0, 1e-9);   // burning core
+  EXPECT_NEAR(f(0, 0), 20.0, 1e-9);    // cool far field
+}
+
+TEST(Generators, UrbanFieldWithinPlausibleRange) {
+  sl::Rng rng(4);
+  auto f = sf::urban_temperature_field(24, 24, rng);
+  EXPECT_GT(f.min(), 15.0);
+  EXPECT_LT(f.max(), 45.0);
+  EXPECT_GT(f.max() - f.min(), 1.0);  // has structure
+}
+
+TEST(Generators, SparseDctFieldHasRequestedSparsity) {
+  sl::Rng rng(5);
+  auto f = sf::sparse_dct_field(8, 8, 5, rng);
+  const auto basis = sl::dct_basis(64);
+  EXPECT_EQ(sl::effective_sparsity(basis, f.flat(), 1e-8), 5u);
+}
+
+TEST(Generators, AddNoisePerturbsField) {
+  sl::Rng rng(6);
+  sf::SpatialField f(8, 8, 1.0);
+  sf::add_noise(f, 0.1, rng);
+  double dev = 0.0;
+  for (double v : f.flat()) dev += std::abs(v - 1.0);
+  EXPECT_GT(dev, 0.0);
+  sf::SpatialField g(8, 8, 1.0);
+  sf::add_noise(g, 0.0, rng);  // sigma 0 is a no-op
+  EXPECT_DOUBLE_EQ(g.min(), 1.0);
+}
+
+TEST(Generators, QuadrantContrastHasVariedSparsity) {
+  sl::Rng rng(7);
+  auto f = sf::quadrant_contrast_field(16, 16, rng);
+  sf::ZoneGrid grid(16, 16, 2, 2);
+  auto ks = sf::zone_sparsities(f, grid, sl::BasisKind::kDct, 0.05);
+  // The flat quadrant must be much sparser than the busy one.
+  const auto [mn, mx] = std::minmax_element(ks.begin(), ks.end());
+  EXPECT_LT(*mn * 3, *mx);
+}
+
+// ------------------------------------------------------------ traces ----
+
+TEST(Traces, MatrixLayoutMatchesVectorize) {
+  sl::Rng rng(8);
+  auto set = sf::evolving_plume_traces(6, 5, 2, 4, rng);
+  EXPECT_EQ(set.count(), 4u);
+  auto x = set.to_matrix();
+  EXPECT_EQ(x.rows(), 4u);
+  EXPECT_EQ(x.cols(), 30u);
+  auto v = set.at(2).vectorize();
+  for (std::size_t c = 0; c < 30; ++c) EXPECT_DOUBLE_EQ(x(2, c), v[c]);
+}
+
+TEST(Traces, AddValidatesShape) {
+  sf::TraceSet set;
+  set.add(sf::SpatialField(4, 4));
+  EXPECT_THROW(set.add(sf::SpatialField(4, 5)), std::invalid_argument);
+  sf::TraceSet empty;
+  EXPECT_THROW(empty.to_matrix(), std::logic_error);
+}
+
+TEST(Traces, EvolvingTracesActuallyEvolve) {
+  sl::Rng rng(9);
+  auto set = sf::evolving_plume_traces(8, 8, 3, 5, rng, 2.0, 0.2);
+  sf::SpatialField diff = set.at(4);
+  diff -= set.at(0);
+  double change = 0.0;
+  for (double v : diff.flat()) change += std::abs(v);
+  EXPECT_GT(change, 0.1);
+}
+
+// ---------------------------------------------------------- sparsity ----
+
+TEST(Sparsity, FlatFieldIsOneSparse) {
+  sf::SpatialField f(8, 8, 3.0);
+  EXPECT_EQ(sf::field_sparsity(f, sl::BasisKind::kDct, 0.01), 1u);
+}
+
+TEST(Sparsity, FromTracesIsConservativeMax) {
+  sl::Rng rng(10);
+  sf::TraceSet set;
+  set.add(sf::SpatialField(4, 4, 1.0));          // K = 1
+  set.add(sf::sparse_dct_field(4, 4, 6, rng, 1.0));  // K = 6
+  EXPECT_GE(sf::sparsity_from_traces(set, sl::BasisKind::kDct, 1e-8), 6u);
+}
+
+TEST(Sparsity, MeasurementRuleScalesLogarithmically) {
+  const auto m1 = sf::measurements_for_sparsity(4, 256);
+  const auto m2 = sf::measurements_for_sparsity(4, 65536);
+  // N grew 256x but M only ~2x (log scaling).
+  EXPECT_LT(m2, m1 * 3);
+  EXPECT_GT(m2, m1);
+  // Clamps: K+1 lower bound, N upper bound.
+  EXPECT_GE(sf::measurements_for_sparsity(0, 16), 1u);
+  EXPECT_LE(sf::measurements_for_sparsity(100, 16), 16u);
+}
+
+TEST(Sparsity, AdaptiveBudgetFollowsDemand) {
+  std::vector<std::size_t> ks{1, 10};
+  std::vector<std::size_t> sizes{64, 64};
+  auto alloc = sf::allocate_budget(ks, sizes, 44, 4);
+  ASSERT_EQ(alloc.size(), 2u);
+  EXPECT_GT(alloc[1].measurements, 3 * alloc[0].measurements);
+  EXPECT_GE(alloc[0].measurements, 4u);  // floor respected
+}
+
+TEST(Sparsity, UniformBudgetIgnoresDemand) {
+  std::vector<std::size_t> sizes{64, 64};
+  auto alloc = sf::allocate_uniform(sizes, 40, 4);
+  EXPECT_EQ(alloc[0].measurements, alloc[1].measurements);
+}
+
+TEST(Sparsity, BudgetsNeverExceedZoneSize) {
+  std::vector<std::size_t> ks{50};
+  std::vector<std::size_t> sizes{16};
+  auto alloc = sf::allocate_budget(ks, sizes, 1000, 4);
+  EXPECT_LE(alloc[0].measurements, 16u);
+  auto unif = sf::allocate_uniform(sizes, 1000, 4);
+  EXPECT_LE(unif[0].measurements, 16u);
+}
+
+TEST(Sparsity, AllocateBudgetValidates) {
+  std::vector<std::size_t> ks{1};
+  std::vector<std::size_t> sizes{16, 16};
+  EXPECT_THROW(sf::allocate_budget(ks, sizes, 10), std::invalid_argument);
+}

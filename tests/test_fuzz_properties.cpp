@@ -1,0 +1,164 @@
+// Seeded randomized property sweeps ("fuzz-lite"): invariants checked
+// over many random instances per suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cs/omp.h"
+#include "cs/simplex.h"
+#include "field/spatial_field.h"
+#include "incentives/auction.h"
+#include "linalg/random.h"
+#include "linalg/vector_ops.h"
+#include "middleware/wire.h"
+
+namespace sc = sensedroid::cs;
+namespace sf = sensedroid::field;
+namespace si = sensedroid::incentives;
+namespace sl = sensedroid::linalg;
+namespace mw = sensedroid::middleware;
+namespace sn = sensedroid::sensing;
+
+class SeededFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededFuzz, WireRoundTripArbitraryMessages) {
+  sl::Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    mw::Message msg;
+    const std::size_t topic_len = rng.uniform_index(40);
+    for (std::size_t c = 0; c < topic_len; ++c) {
+      msg.topic.push_back(static_cast<char>('a' + rng.uniform_index(26)));
+    }
+    msg.sender = static_cast<mw::NodeId>(rng.next_u64());
+    msg.timestamp = rng.gaussian(0.0, 1e6);
+    switch (rng.uniform_index(4)) {
+      case 0:
+        msg.payload = rng.gaussian(0.0, 1e9);
+        break;
+      case 1:
+        msg.payload = rng.gaussian_vector(rng.uniform_index(50));
+        break;
+      case 2: {
+        std::string s;
+        const std::size_t len = rng.uniform_index(100);
+        for (std::size_t c = 0; c < len; ++c) {
+          s.push_back(static_cast<char>(rng.uniform_index(256)));
+        }
+        msg.payload = std::move(s);
+        break;
+      }
+      default:
+        msg.payload = mw::Record{
+            static_cast<mw::NodeId>(rng.uniform_index(1000)),
+            static_cast<sn::SensorKind>(
+                rng.uniform_index(sn::kSensorKindCount)),
+            rng.gaussian(0.0, 100.0), rng.gaussian(0.0, 100.0)};
+    }
+    const auto frame = mw::encode_message(msg);
+    const auto back = mw::decode_message(frame);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->topic, msg.topic);
+    EXPECT_EQ(back->sender, msg.sender);
+    EXPECT_DOUBLE_EQ(back->timestamp, msg.timestamp);
+    EXPECT_EQ(back->payload.index(), msg.payload.index());
+  }
+}
+
+TEST_P(SeededFuzz, AuctionClearingInvariants) {
+  sl::Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t n = 1 + rng.uniform_index(20);
+    const std::size_t k = 1 + rng.uniform_index(10);
+    const double reserve = rng.uniform(1.0, 10.0);
+    std::vector<double> bids(n);
+    for (auto& b : bids) b = rng.uniform(0.0, 12.0);
+    const auto round = si::second_price_auction(bids, k, reserve);
+    EXPECT_LE(round.winners.size(), std::min(k, n));
+    // Every winner's own bid is at most the clearing price, and no
+    // winner bid above the reserve.
+    for (auto w : round.winners) {
+      EXPECT_LE(bids[w], round.price_per_reading + 1e-12);
+      EXPECT_LE(bids[w], reserve + 1e-12);
+    }
+    // Total payment is winners x uniform price.
+    EXPECT_NEAR(round.total_payment,
+                round.price_per_reading *
+                    static_cast<double>(round.winners.size()),
+                1e-9);
+    EXPECT_LE(round.price_per_reading, reserve + 1e-12);
+  }
+}
+
+TEST_P(SeededFuzz, FieldExtractInsertIdentity) {
+  sl::Rng rng(GetParam() ^ 0x5151);
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t w = 2 + rng.uniform_index(12);
+    const std::size_t h = 2 + rng.uniform_index(12);
+    sf::SpatialField f(w, h);
+    for (double& v : f.flat()) v = rng.gaussian();
+    const std::size_t pw = 1 + rng.uniform_index(w);
+    const std::size_t ph = 1 + rng.uniform_index(h);
+    const std::size_t j0 = rng.uniform_index(w - pw + 1);
+    const std::size_t i0 = rng.uniform_index(h - ph + 1);
+    auto copy = f;
+    const auto patch = f.extract(i0, j0, pw, ph);
+    copy.insert(i0, j0, patch);
+    EXPECT_DOUBLE_EQ(sf::field_nrmse(copy, f), 0.0);
+    // Vectorize round trip too.
+    const auto back = sf::SpatialField::from_vector(w, h, f.vectorize());
+    EXPECT_DOUBLE_EQ(sf::field_nrmse(back, f), 0.0);
+  }
+}
+
+TEST_P(SeededFuzz, SimplexOptimaAreFeasible) {
+  sl::Rng rng(GetParam() ^ 0x1717);
+  for (int i = 0; i < 15; ++i) {
+    const std::size_t m = 1 + rng.uniform_index(4);
+    const std::size_t n = m + 1 + rng.uniform_index(6);
+    sc::LpProblem p;
+    p.a = sl::Matrix(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        p.a(r, c) = rng.gaussian();
+      }
+    }
+    // Make the problem feasible by construction: b = A x0 with x0 >= 0.
+    sl::Vector x0(n);
+    for (auto& x : x0) x = rng.uniform(0.0, 2.0);
+    p.b = p.a * x0;
+    p.c.assign(n, 0.0);
+    for (auto& c : p.c) c = rng.uniform(0.0, 1.0);  // bounded below by 0
+
+    const auto sol = sc::simplex_solve(p);
+    ASSERT_EQ(sol.status, sc::LpStatus::kOptimal) << "instance " << i;
+    // Feasibility of the reported optimum.
+    const auto ax = p.a * sol.x;
+    for (std::size_t r = 0; r < m; ++r) {
+      EXPECT_NEAR(ax[r], p.b[r], 1e-6);
+    }
+    for (double x : sol.x) EXPECT_GE(x, -1e-9);
+    // Optimality vs the known feasible point.
+    double obj0 = 0.0;
+    for (std::size_t c = 0; c < n; ++c) obj0 += p.c[c] * x0[c];
+    EXPECT_LE(sol.objective, obj0 + 1e-6);
+  }
+}
+
+TEST_P(SeededFuzz, OmpResidualNeverExceedsSignal) {
+  sl::Rng rng(GetParam() ^ 0x0770);
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t m = 4 + rng.uniform_index(20);
+    const std::size_t n = m + rng.uniform_index(40);
+    sl::Matrix a(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.gaussian();
+    }
+    const auto y = rng.gaussian_vector(m);
+    const auto sol = sc::omp_solve(a, y, {.max_sparsity = m / 2});
+    EXPECT_LE(sol.residual_norm, sl::norm2(y) + 1e-9);
+    EXPECT_LE(sol.support.size(), m / 2 + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));

@@ -1,0 +1,231 @@
+// Tests for incentive mechanisms: auctions (truthfulness, clearing),
+// RADP-VPC participation dynamics, and coverage-aware recruitment.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "incentives/auction.h"
+#include "incentives/participant.h"
+#include "incentives/recruitment.h"
+
+namespace si = sensedroid::incentives;
+namespace sl = sensedroid::linalg;
+namespace ss = sensedroid::sim;
+
+namespace {
+const ss::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+}
+
+// --------------------------------------------------------- population ----
+
+TEST(Population, GeneratedWithinBounds) {
+  sl::Rng rng(1);
+  auto pop = si::make_population(50, 0.5, 2.0, kRegion, rng);
+  ASSERT_EQ(pop.size(), 50u);
+  for (const auto& p : pop) {
+    EXPECT_GE(p.true_cost, 0.5);
+    EXPECT_LT(p.true_cost, 2.0);
+    EXPECT_TRUE(kRegion.contains(p.position));
+    EXPECT_GE(p.reputation, 0.5);
+    EXPECT_TRUE(p.active);
+    EXPECT_DOUBLE_EQ(p.utility(), 0.0);
+  }
+  EXPECT_THROW(si::make_population(5, 2.0, 1.0, kRegion, rng),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ auction ----
+
+TEST(Auction, SecondPriceSelectsLowestAndPaysClearing) {
+  std::vector<double> bids{3.0, 1.0, 2.0, 5.0};
+  auto round = si::second_price_auction(bids, 2, 100.0);
+  ASSERT_EQ(round.winners.size(), 2u);
+  EXPECT_EQ(round.winners[0], 1u);  // bid 1.0
+  EXPECT_EQ(round.winners[1], 2u);  // bid 2.0
+  // Clearing price = first losing bid = 3.0.
+  EXPECT_DOUBLE_EQ(round.price_per_reading, 3.0);
+  EXPECT_DOUBLE_EQ(round.total_payment, 6.0);
+}
+
+TEST(Auction, ReserveCapsClearingPrice) {
+  std::vector<double> bids{1.0, 2.0, 50.0};
+  auto round = si::second_price_auction(bids, 2, 10.0);
+  EXPECT_DOUBLE_EQ(round.price_per_reading, 10.0);  // 50 capped by reserve
+}
+
+TEST(Auction, AllWinnersClearAtReserveWhenNoLoser) {
+  std::vector<double> bids{1.0, 2.0};
+  auto round = si::second_price_auction(bids, 5, 4.0);
+  ASSERT_EQ(round.winners.size(), 2u);
+  EXPECT_DOUBLE_EQ(round.price_per_reading, 4.0);
+}
+
+TEST(Auction, EmptyAndInvalidInputs) {
+  auto round = si::second_price_auction({}, 3, 1.0);
+  EXPECT_TRUE(round.winners.empty());
+  EXPECT_THROW(si::second_price_auction({1.0}, 0, 1.0),
+               std::invalid_argument);
+}
+
+// Truthfulness property: on random instances, misreporting never improves
+// a bidder's utility under the (k+1)-price rule.
+TEST(Auction, TruthfulnessProperty) {
+  sl::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 8, k = 3;
+    std::vector<double> costs(n);
+    for (auto& c : costs) c = rng.uniform(0.5, 3.0);
+    const std::size_t subject = rng.uniform_index(n);
+
+    auto utility_when_bidding = [&](double bid) {
+      std::vector<double> bids = costs;
+      bids[subject] = bid;
+      const auto round = si::second_price_auction(bids, k, 100.0);
+      for (auto w : round.winners) {
+        if (w == subject) return round.price_per_reading - costs[subject];
+      }
+      return 0.0;
+    };
+
+    const double truthful = utility_when_bidding(costs[subject]);
+    for (double factor : {0.3, 0.7, 1.3, 2.0}) {
+      const double lied = utility_when_bidding(costs[subject] * factor);
+      EXPECT_LE(lied, truthful + 1e-9)
+          << "trial " << trial << " factor " << factor;
+    }
+  }
+}
+
+// ------------------------------------------------------------ radpvpc ----
+
+TEST(RadpVpc, WinnersEarnAndLosersAccrueCredit) {
+  sl::Rng rng(2);
+  auto pop = si::make_population(20, 0.5, 2.0, kRegion, rng);
+  si::RadpVpc::Params params;
+  params.k = 5;
+  params.patience = 1000;  // no dropouts in this test
+  si::RadpVpc mech(params);
+  auto round = mech.run_round(pop);
+  EXPECT_EQ(round.winners.size(), 5u);
+  double earned = 0.0;
+  for (const auto& p : pop) earned += p.earned;
+  EXPECT_NEAR(earned, round.total_payment, 1e-9);
+  // Winners have non-negative utility (clearing >= their cost).
+  for (auto id : round.winners) {
+    EXPECT_GE(pop[id].utility(), -1e-9);
+  }
+}
+
+TEST(RadpVpc, CreditEventuallyLetsExpensiveBiddersWin) {
+  // Two-tier population: with VPC the expensive tier's effective bids
+  // fall each losing round until they win occasionally.
+  sl::Rng rng(3);
+  std::vector<si::Participant> pop(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    pop[i].id = static_cast<std::uint32_t>(i);
+    pop[i].true_cost = i < 3 ? 1.0 : 2.0;  // cheap vs expensive tier
+  }
+  si::RadpVpc::Params params;
+  params.k = 3;
+  params.vpc = 0.25;
+  params.patience = 1000;
+  si::RadpVpc mech(params);
+  bool expensive_won = false;
+  for (int r = 0; r < 10 && !expensive_won; ++r) {
+    const auto round = mech.run_round(pop);
+    for (auto id : round.winners) {
+      if (id >= 3) expensive_won = true;
+    }
+  }
+  EXPECT_TRUE(expensive_won);
+}
+
+TEST(RadpVpc, WithoutCreditLosersDropOut) {
+  sl::Rng rng(4);
+  auto pop = si::make_population(30, 0.5, 3.0, kRegion, rng);
+  si::RadpVpc::Params no_vpc;
+  no_vpc.k = 5;
+  no_vpc.vpc = 0.0;  // plain repeated reverse auction
+  no_vpc.patience = 3;
+  si::RadpVpc plain(no_vpc);
+  for (int r = 0; r < 10; ++r) plain.run_round(pop);
+  std::size_t still_active_plain = 0;
+  for (const auto& p : pop) {
+    if (p.active) ++still_active_plain;
+  }
+
+  sl::Rng rng2(4);
+  auto pop2 = si::make_population(30, 0.5, 3.0, kRegion, rng2);
+  auto with_vpc = no_vpc;
+  with_vpc.vpc = 0.3;
+  si::RadpVpc vpc(with_vpc);
+  for (int r = 0; r < 10; ++r) vpc.run_round(pop2);
+  std::size_t still_active_vpc = 0;
+  for (const auto& p : pop2) {
+    if (p.active) ++still_active_vpc;
+  }
+  // VPC's whole point: it retains participation.
+  EXPECT_GT(still_active_vpc, still_active_plain);
+}
+
+TEST(RadpVpc, ValidatesParams) {
+  si::RadpVpc::Params bad;
+  bad.k = 0;
+  EXPECT_THROW(si::RadpVpc{bad}, std::invalid_argument);
+}
+
+// -------------------------------------------------------- fixed price ----
+
+TEST(FixedPrice, OnlyCheapParticipantsJoin) {
+  sl::Rng rng(5);
+  auto pop = si::make_population(20, 0.5, 2.0, kRegion, rng);
+  auto round = si::fixed_price_round(pop, 1.0, 100);
+  for (auto id : round.winners) {
+    EXPECT_LE(pop[id].true_cost, 1.0);
+    EXPECT_GT(pop[id].utility(), -1e-9);
+  }
+  EXPECT_THROW(si::fixed_price_round(pop, 1.0, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------- recruitment ----
+
+TEST(Recruitment, GridCellMapping) {
+  si::CoverageGrid grid{kRegion, 2, 2};
+  EXPECT_EQ(grid.cell_of({10.0, 10.0}), 0u);
+  EXPECT_EQ(grid.cell_of({90.0, 10.0}), 1u);
+  EXPECT_EQ(grid.cell_of({10.0, 90.0}), 2u);
+  EXPECT_EQ(grid.cell_of({90.0, 90.0}), 3u);
+  EXPECT_EQ(grid.cell_of({-5.0, 200.0}), 2u);  // clamped
+}
+
+TEST(Recruitment, GreedyCoversMoreThanArrivalOrder) {
+  sl::Rng rng(6);
+  auto pop = si::make_population(80, 0.5, 2.0, kRegion, rng);
+  si::CoverageGrid grid{kRegion, 4, 4};
+  const double budget = 12.0;
+  auto greedy = si::recruit_greedy(pop, grid, budget);
+  auto arrival = si::recruit_arrival_order(pop, grid, budget);
+  EXPECT_GE(greedy.cells_covered, arrival.cells_covered);
+  EXPECT_LE(greedy.total_cost, budget + 1e-9);
+  EXPECT_LE(arrival.total_cost, budget + 1e-9);
+  EXPECT_GT(greedy.cells_covered, 8u);  // most of the 16 cells
+}
+
+TEST(Recruitment, RespectsBudgetAndActivity) {
+  sl::Rng rng(8);
+  auto pop = si::make_population(10, 1.0, 1.0001, kRegion, rng);
+  pop[0].active = false;
+  si::CoverageGrid grid{kRegion, 2, 2};
+  auto res = si::recruit_greedy(pop, grid, 3.5);
+  EXPECT_LE(res.selected.size(), 3u);
+  for (auto id : res.selected) EXPECT_NE(id, 0u);
+}
+
+TEST(Recruitment, ValidatesGrid) {
+  sl::Rng rng(9);
+  auto pop = si::make_population(5, 1.0, 2.0, kRegion, rng);
+  si::CoverageGrid bad{kRegion, 0, 4};
+  EXPECT_THROW(si::recruit_greedy(pop, bad, 10.0), std::invalid_argument);
+  EXPECT_THROW(si::recruit_arrival_order(pop, bad, 10.0),
+               std::invalid_argument);
+}

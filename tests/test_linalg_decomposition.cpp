@@ -1,0 +1,233 @@
+// Unit + property tests for QR, Cholesky, Jacobi eigen/SVD, pinv, LU.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decomposition.h"
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+#include "linalg/vector_ops.h"
+
+namespace sl = sensedroid::linalg;
+
+namespace {
+
+sl::Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  sl::Rng rng(seed);
+  sl::Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+  }
+  return a;
+}
+
+sl::Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  sl::Matrix a = random_matrix(n + 4, n, seed);
+  sl::Matrix g = a.gram();
+  for (std::size_t i = 0; i < n; ++i) g(i, i) += 0.5;
+  return g;
+}
+
+}  // namespace
+
+TEST(QR, SolvesSquareSystemExactly) {
+  sl::Matrix a{{4, 1}, {1, 3}};
+  sl::Vector b{1.0, 2.0};
+  sl::QR qr(a);
+  auto x = qr.solve(b);
+  auto r = sl::subtract(a * x, b);
+  EXPECT_LT(sl::norm2(r), 1e-12);
+}
+
+TEST(QR, LeastSquaresResidualOrthogonalToColumns) {
+  auto a = random_matrix(20, 5, 42);
+  sl::Rng rng(7);
+  auto b = rng.gaussian_vector(20);
+  sl::QR qr(a);
+  auto x = qr.solve(b);
+  auto r = sl::subtract(a * x, b);
+  // Normal equations: A^T r == 0 at the least-squares solution.
+  auto atr = a.transpose_times(r);
+  EXPECT_LT(sl::norm_inf(atr), 1e-10);
+}
+
+TEST(QR, RejectsWideMatrix) {
+  sl::Matrix a(2, 3);
+  EXPECT_THROW(sl::QR{a}, std::invalid_argument);
+}
+
+TEST(QR, DetectsRankDeficiency) {
+  sl::Matrix a{{1, 2}, {2, 4}, {3, 6}};  // second column = 2x first
+  sl::QR qr(a);
+  EXPECT_FALSE(qr.full_rank());
+  sl::Vector b{1, 1, 1};
+  EXPECT_THROW(qr.solve(b), std::runtime_error);
+}
+
+TEST(QR, SolveRejectsWrongSize) {
+  auto a = random_matrix(4, 2, 1);
+  sl::QR qr(a);
+  sl::Vector b{1.0, 2.0};
+  EXPECT_THROW(qr.solve(b), std::invalid_argument);
+}
+
+TEST(Cholesky, ReconstructsLLt) {
+  auto a = random_spd(6, 11);
+  sl::Cholesky chol(a);
+  const auto& l = chol.lower();
+  EXPECT_TRUE(sl::approx_equal(l * l.transpose(), a, 1e-9));
+}
+
+TEST(Cholesky, SolvesSystem) {
+  auto a = random_spd(8, 3);
+  sl::Rng rng(5);
+  auto xtrue = rng.gaussian_vector(8);
+  auto b = a * xtrue;
+  sl::Cholesky chol(a);
+  auto x = chol.solve(b);
+  EXPECT_LT(sl::relative_error(x, xtrue), 1e-8);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  sl::Matrix a{{1, 2}, {2, 1}};  // indefinite
+  EXPECT_THROW(sl::Cholesky{a}, std::runtime_error);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  sl::Matrix a(2, 3);
+  EXPECT_THROW(sl::Cholesky{a}, std::invalid_argument);
+}
+
+TEST(JacobiEigen, DiagonalizesKnownMatrix) {
+  sl::Matrix a{{2, 1}, {1, 2}};  // eigenvalues 3 and 1
+  auto eig = sl::jacobi_eigen(a);
+  ASSERT_EQ(eig.eigenvalues.size(), 2u);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  auto a = random_spd(7, 23);
+  auto eig = sl::jacobi_eigen(a);
+  // A == V diag(w) V^T
+  auto d = sl::Matrix::diagonal(eig.eigenvalues);
+  auto rec = eig.eigenvectors * d * eig.eigenvectors.transpose();
+  EXPECT_TRUE(sl::approx_equal(rec, a, 1e-8));
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal) {
+  auto a = random_spd(9, 31);
+  auto eig = sl::jacobi_eigen(a);
+  auto g = eig.eigenvectors.gram();
+  EXPECT_TRUE(sl::approx_equal(g, sl::Matrix::identity(9), 1e-9));
+}
+
+TEST(JacobiSvd, ReconstructsTallMatrix) {
+  auto a = random_matrix(10, 4, 17);
+  auto svd = sl::jacobi_svd(a);
+  auto rec = svd.u * sl::Matrix::diagonal(svd.s) * svd.v.transpose();
+  EXPECT_TRUE(sl::approx_equal(rec, a, 1e-9));
+}
+
+TEST(JacobiSvd, SingularValuesSortedDescending) {
+  auto a = random_matrix(12, 6, 29);
+  auto svd = sl::jacobi_svd(a);
+  for (std::size_t i = 1; i < svd.s.size(); ++i) {
+    EXPECT_GE(svd.s[i - 1], svd.s[i]);
+  }
+}
+
+TEST(PseudoInverse, SatisfiesMoorePenroseForTall) {
+  auto a = random_matrix(8, 3, 41);
+  auto p = sl::pseudo_inverse(a);
+  // A pinv(A) A == A and pinv(A) A pinv(A) == pinv(A).
+  EXPECT_TRUE(sl::approx_equal(a * p * a, a, 1e-8));
+  EXPECT_TRUE(sl::approx_equal(p * a * p, p, 1e-8));
+}
+
+TEST(PseudoInverse, HandlesWideMatrix) {
+  auto a = random_matrix(3, 8, 43);
+  auto p = sl::pseudo_inverse(a);
+  EXPECT_EQ(p.rows(), 8u);
+  EXPECT_EQ(p.cols(), 3u);
+  EXPECT_TRUE(sl::approx_equal(a * p * a, a, 1e-8));
+}
+
+TEST(PseudoInverse, RegularizesSingularMatrix) {
+  sl::Matrix a{{1, 2}, {2, 4}};  // rank 1
+  auto p = sl::pseudo_inverse(a);
+  EXPECT_TRUE(sl::approx_equal(a * p * a, a, 1e-8));
+}
+
+TEST(ConditionNumber, IdentityIsOne) {
+  EXPECT_NEAR(sl::condition_number(sl::Matrix::identity(5)), 1.0, 1e-10);
+}
+
+TEST(ConditionNumber, ScalesWithDiagonalSpread) {
+  const double d[] = {100.0, 1.0};
+  auto a = sl::Matrix::diagonal(d);
+  EXPECT_NEAR(sl::condition_number(a), 100.0, 1e-8);
+}
+
+TEST(ConditionNumber, SingularIsInfinite) {
+  sl::Matrix a{{1, 1}, {1, 1}};
+  EXPECT_TRUE(std::isinf(sl::condition_number(a)));
+}
+
+TEST(LuSolve, SolvesGeneralSquareSystem) {
+  sl::Matrix a{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};
+  sl::Vector xtrue{2.0, -1.0, 3.0};
+  auto b = a * xtrue;
+  auto x = sl::lu_solve(a, b);
+  EXPECT_LT(sl::relative_error(x, xtrue), 1e-10);
+}
+
+TEST(LuSolve, ThrowsOnSingular) {
+  sl::Matrix a{{1, 2}, {2, 4}};
+  sl::Vector b{1.0, 2.0};
+  EXPECT_THROW(sl::lu_solve(a, b), std::runtime_error);
+}
+
+TEST(Orthonormalize, ProducesOrthonormalColumns) {
+  auto a = random_matrix(10, 6, 53);
+  std::size_t rank = 0;
+  auto q = sl::orthonormalize_columns(a, 1e-10, &rank);
+  EXPECT_EQ(rank, 6u);
+  EXPECT_TRUE(sl::approx_equal(q.gram(), sl::Matrix::identity(6), 1e-9));
+}
+
+TEST(Orthonormalize, DropsDependentColumns) {
+  sl::Matrix a(4, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);  // dependent
+    a(i, 2) = i == 0 ? 1.0 : 0.0;
+  }
+  std::size_t rank = 0;
+  auto q = sl::orthonormalize_columns(a, 1e-10, &rank);
+  EXPECT_EQ(rank, 2u);
+  EXPECT_EQ(q.cols(), 2u);
+}
+
+// Property sweep: QR least squares matches pinv-based solution on random
+// overdetermined systems of several shapes.
+class QrPinvAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(QrPinvAgreement, QrMatchesPinv) {
+  const auto [m, n] = GetParam();
+  auto a = random_matrix(m, n, 1000 + m * 31 + n);
+  sl::Rng rng(m * 7 + n);
+  auto b = rng.gaussian_vector(m);
+  sl::QR qr(a);
+  auto x_qr = qr.solve(b);
+  auto x_pinv = sl::pseudo_inverse(a) * b;
+  EXPECT_LT(sl::relative_error(x_qr, x_pinv), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrPinvAgreement,
+    ::testing::Values(std::make_tuple(6, 3), std::make_tuple(12, 5),
+                      std::make_tuple(25, 10), std::make_tuple(40, 8),
+                      std::make_tuple(9, 9)));

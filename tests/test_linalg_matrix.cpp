@@ -1,0 +1,177 @@
+// Unit tests for the dense matrix substrate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace sl = sensedroid::linalg;
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  sl::Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  sl::Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerListRejectsRagged) {
+  EXPECT_THROW((sl::Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  auto i3 = sl::Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i3(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, FromRowsValidatesSize) {
+  const double buf[] = {1, 2, 3, 4, 5, 6};
+  auto m = sl::Matrix::from_rows(2, 3, buf);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_THROW(sl::Matrix::from_rows(2, 2, buf), std::invalid_argument);
+}
+
+TEST(Matrix, DiagonalBuildsDiagonal) {
+  const double d[] = {2.0, -1.0};
+  auto m = sl::Matrix::diagonal(d);
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  sl::Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  sl::Matrix m{{1, 2, 3}, {4, 5, 6}};
+  auto t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(sl::approx_equal(t.transpose(), m));
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  sl::Matrix a{{1, 2}, {3, 4}};
+  sl::Matrix b{{5, 6}, {7, 8}};
+  auto c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyRejectsMismatch) {
+  sl::Matrix a(2, 3);
+  sl::Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  sl::Matrix a{{1, 0, 2}, {0, 3, 0}};
+  sl::Vector v{1.0, 2.0, 3.0};
+  auto y = a * v;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Matrix, TransposeTimesAgreesWithExplicitTranspose) {
+  sl::Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  sl::Vector v{1.0, -1.0, 2.0};
+  auto direct = a.transpose_times(v);
+  auto explicit_t = a.transpose() * v;
+  ASSERT_EQ(direct.size(), explicit_t.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct[i], explicit_t[i]);
+  }
+}
+
+TEST(Matrix, GramAgreesWithAtA) {
+  sl::Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_TRUE(sl::approx_equal(a.gram(), a.transpose() * a));
+}
+
+TEST(Matrix, SelectRowsPicksInOrder) {
+  sl::Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const std::size_t idx[] = {2, 0};
+  auto s = a.select_rows(idx);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 2.0);
+}
+
+TEST(Matrix, SelectColsPicksInOrder) {
+  sl::Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const std::size_t idx[] = {2, 1};
+  auto s = a.select_cols(idx);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+}
+
+TEST(Matrix, SelectThrowsOnBadIndex) {
+  sl::Matrix a(2, 2);
+  const std::size_t bad[] = {5};
+  EXPECT_THROW(a.select_rows(bad), std::out_of_range);
+  EXPECT_THROW(a.select_cols(bad), std::out_of_range);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  sl::Matrix a{{1, 2}, {3, 4}};
+  sl::Matrix b{{4, 3}, {2, 1}};
+  auto sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  auto diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 3.0);
+  auto scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  auto scaled2 = 2.0 * a;
+  EXPECT_TRUE(sl::approx_equal(scaled, scaled2));
+}
+
+TEST(Matrix, AdditionRejectsShapeMismatch) {
+  sl::Matrix a(2, 2);
+  sl::Matrix b(2, 3);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a - b, std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusNormAndMaxAbs) {
+  sl::Matrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(Matrix, ColExtractsColumn) {
+  sl::Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  auto c = a.col(1);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 6.0);
+  EXPECT_THROW(a.col(2), std::out_of_range);
+}
+
+TEST(Matrix, ApproxEqualRespectsTolerance) {
+  sl::Matrix a{{1.0}};
+  sl::Matrix b{{1.0 + 1e-13}};
+  EXPECT_TRUE(sl::approx_equal(a, b, 1e-12));
+  EXPECT_FALSE(sl::approx_equal(a, b, 1e-14));
+}

@@ -1,0 +1,450 @@
+// Tests for the middleware services: datastore, pub/sub, privacy,
+// discovery, query, node, and broker.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "middleware/broker.h"
+#include "middleware/datastore.h"
+#include "middleware/discovery.h"
+#include "middleware/node.h"
+#include "middleware/privacy.h"
+#include "middleware/pubsub.h"
+#include "middleware/query.h"
+
+namespace mw = sensedroid::middleware;
+namespace sn = sensedroid::sensing;
+namespace ss = sensedroid::sim;
+namespace sl = sensedroid::linalg;
+
+namespace {
+
+mw::Record make_record(mw::NodeId node, sn::SensorKind kind, double t,
+                       double v) {
+  return mw::Record{node, kind, t, v};
+}
+
+sn::SimulatedSensor temp_sensor(double value = 21.0,
+                                sn::QualityTier tier =
+                                    sn::QualityTier::kMidrange) {
+  return sn::SimulatedSensor(sn::SensorKind::kTemperature, tier,
+                             [value](std::size_t) { return value; }, 99);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- datastore ----
+
+TEST(DataStore, InsertAndQueryByFilter) {
+  mw::DataStore db(100);
+  db.insert(make_record(1, sn::SensorKind::kTemperature, 1.0, 20.0));
+  db.insert(make_record(2, sn::SensorKind::kTemperature, 2.0, 22.0));
+  db.insert(make_record(1, sn::SensorKind::kGps, 3.0, 0.8));
+  mw::RecordFilter f;
+  f.node = 1;
+  EXPECT_EQ(db.count(f), 2u);
+  f.sensor = sn::SensorKind::kGps;
+  auto rows = db.query(f);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 0.8);
+}
+
+TEST(DataStore, TimeAndValueRanges) {
+  mw::DataStore db(100);
+  for (int i = 0; i < 10; ++i) {
+    db.insert(make_record(1, sn::SensorKind::kTemperature, i, i * 10.0));
+  }
+  mw::RecordFilter f;
+  f.t_min = 3.0;
+  f.t_max = 6.0;
+  EXPECT_EQ(db.count(f), 4u);
+  f.value_min = 45.0;
+  EXPECT_EQ(db.count(f), 2u);  // t=5 (50) and t=6 (60)
+  f.value_max = 55.0;
+  EXPECT_EQ(db.count(f), 1u);
+}
+
+TEST(DataStore, RingBufferEvictsOldest) {
+  mw::DataStore db(3);
+  for (int i = 0; i < 5; ++i) {
+    db.insert(make_record(1, sn::SensorKind::kLight, i, i));
+  }
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.evicted(), 2u);
+  auto rows = db.query({});
+  EXPECT_DOUBLE_EQ(rows.front().value, 2.0);  // 0 and 1 evicted
+  EXPECT_THROW(mw::DataStore(0), std::invalid_argument);
+}
+
+TEST(DataStore, LatestAndMean) {
+  mw::DataStore db(10);
+  db.insert(make_record(1, sn::SensorKind::kTemperature, 1.0, 10.0));
+  db.insert(make_record(1, sn::SensorKind::kTemperature, 2.0, 20.0));
+  auto latest = db.latest({});
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->value, 20.0);
+  auto mean = db.mean_value({});
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_DOUBLE_EQ(*mean, 15.0);
+  mw::RecordFilter none;
+  none.node = 42;
+  EXPECT_FALSE(db.latest(none).has_value());
+  EXPECT_FALSE(db.mean_value(none).has_value());
+}
+
+TEST(DataStore, ForEachStreams) {
+  mw::DataStore db(10);
+  for (int i = 0; i < 4; ++i) {
+    db.insert(make_record(1, sn::SensorKind::kLight, i, 1.0));
+  }
+  double total = 0.0;
+  db.for_each({}, [&](const mw::Record& r) { total += r.value; });
+  EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+// -------------------------------------------------------------- pubsub ----
+
+TEST(PubSub, ExactTopicDelivery) {
+  mw::PubSubBus bus;
+  int hits = 0;
+  bus.subscribe("a/b", [&](const mw::Message&) { ++hits; });
+  EXPECT_EQ(bus.publish({"a/b", 1, 0.0, 1.0}), 1u);
+  EXPECT_EQ(bus.publish({"a/c", 1, 0.0, 1.0}), 0u);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(PubSub, PrefixSubscription) {
+  mw::PubSubBus bus;
+  int hits = 0;
+  bus.subscribe_prefix("sensor/", [&](const mw::Message&) { ++hits; });
+  bus.publish({"sensor/gps", 1, 0.0, 0.5});
+  bus.publish({"sensor/temperature", 2, 0.0, 21.0});
+  bus.publish({"context/indoor", 3, 0.0, 1.0});
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(PubSub, UnsubscribeStopsDelivery) {
+  mw::PubSubBus bus;
+  int hits = 0;
+  auto id = bus.subscribe("t", [&](const mw::Message&) { ++hits; });
+  bus.publish({"t", 1, 0.0, 0.0});
+  EXPECT_TRUE(bus.unsubscribe(id));
+  EXPECT_FALSE(bus.unsubscribe(id));
+  bus.publish({"t", 1, 0.0, 0.0});
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(PubSub, HandlerMaySubscribeDuringDelivery) {
+  mw::PubSubBus bus;
+  int second_hits = 0;
+  bus.subscribe("t", [&](const mw::Message&) {
+    bus.subscribe("t", [&](const mw::Message&) { ++second_hits; });
+  });
+  EXPECT_NO_THROW(bus.publish({"t", 1, 0.0, 0.0}));
+  bus.publish({"t", 1, 0.0, 0.0});
+  EXPECT_GE(second_hits, 1);
+}
+
+TEST(PubSub, WireSizeReflectsPayload) {
+  mw::Message scalar{"t", 1, 0.0, 1.5};
+  mw::Message vec{"t", 1, 0.0, sl::Vector(100, 0.0)};
+  EXPECT_GT(mw::wire_size(vec), mw::wire_size(scalar) + 700);
+  mw::Message text{"t", 1, 0.0, std::string("hello")};
+  EXPECT_EQ(mw::wire_size(text), 24u + 1u + 5u);
+}
+
+// ------------------------------------------------------------- privacy ----
+
+TEST(Privacy, DefaultSharesEverything) {
+  mw::PrivacyPolicy p;
+  EXPECT_TRUE(p.sensor_allowed(sn::SensorKind::kGps));
+  auto r = p.filter(make_record(1, sn::SensorKind::kGps, 0.0, 1.0));
+  EXPECT_TRUE(r.has_value());
+}
+
+TEST(Privacy, PerSensorDisable) {
+  mw::PrivacyPolicy p;
+  p.set_sensor_allowed(sn::SensorKind::kMicrophone, false);
+  EXPECT_FALSE(p.sensor_allowed(sn::SensorKind::kMicrophone));
+  EXPECT_TRUE(p.sensor_allowed(sn::SensorKind::kTemperature));
+  EXPECT_FALSE(
+      p.filter(make_record(1, sn::SensorKind::kMicrophone, 0.0, 40.0))
+          .has_value());
+}
+
+TEST(Privacy, OptOutBlocksAll) {
+  auto p = mw::PrivacyPolicy::opt_out();
+  EXPECT_TRUE(p.opted_out());
+  EXPECT_FALSE(p.sensor_allowed(sn::SensorKind::kTemperature));
+}
+
+TEST(Privacy, LocationBlurSnapsToGrid) {
+  mw::PrivacyPolicy p;
+  p.set_location_granularity_m(100.0);
+  auto b = p.blur({149.0, 250.1});
+  EXPECT_DOUBLE_EQ(b.x, 100.0);
+  EXPECT_DOUBLE_EQ(b.y, 300.0);
+  p.set_location_granularity_m(0.0);
+  auto exact = p.blur({149.0, 250.1});
+  EXPECT_DOUBLE_EQ(exact.x, 149.0);
+  EXPECT_THROW(p.set_location_granularity_m(-1.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- discovery ----
+
+TEST(Discovery, JoinFindLeave) {
+  mw::ServiceRegistry reg;
+  mw::NodeCapabilities caps;
+  caps.node = 7;
+  caps.sensors = {sn::SensorKind::kGps};
+  reg.join(caps);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.find(7).has_value());
+  EXPECT_FALSE(reg.find(8).has_value());
+  EXPECT_TRUE(reg.leave(7));
+  EXPECT_FALSE(reg.leave(7));
+}
+
+TEST(Discovery, WithSensorSortsByDistance) {
+  mw::ServiceRegistry reg;
+  for (mw::NodeId id = 0; id < 3; ++id) {
+    mw::NodeCapabilities caps;
+    caps.node = id;
+    caps.position = {static_cast<double>(id) * 10.0, 0.0};
+    caps.sensors = {sn::SensorKind::kTemperature};
+    reg.join(caps);
+  }
+  auto near = reg.with_sensor(sn::SensorKind::kTemperature,
+                              ss::Point{25.0, 0.0});
+  ASSERT_EQ(near.size(), 3u);
+  EXPECT_EQ(near[0].node, 2u);  // at x=20, closest to 25
+  auto by_id = reg.with_sensor(sn::SensorKind::kTemperature);
+  EXPECT_EQ(by_id[0].node, 0u);
+}
+
+TEST(Discovery, RangeAndInfrastructureFilters) {
+  mw::ServiceRegistry reg;
+  mw::NodeCapabilities phone;
+  phone.node = 1;
+  phone.position = {0.0, 0.0};
+  phone.sensors = {sn::SensorKind::kTemperature};
+  reg.join(phone);
+  mw::NodeCapabilities infra;
+  infra.node = 2;
+  infra.position = {100.0, 0.0};
+  infra.sensors = {sn::SensorKind::kTemperature};
+  infra.infrastructure = true;
+  reg.join(infra);
+  auto in_range = reg.with_sensor_in_range(sn::SensorKind::kTemperature,
+                                           {0.0, 0.0}, 50.0);
+  ASSERT_EQ(in_range.size(), 1u);
+  EXPECT_EQ(in_range[0].node, 1u);
+  auto infra_only = reg.infrastructure_with(sn::SensorKind::kTemperature);
+  ASSERT_EQ(infra_only.size(), 1u);
+  EXPECT_EQ(infra_only[0].node, 2u);
+}
+
+TEST(Discovery, UpdatePosition) {
+  mw::ServiceRegistry reg;
+  mw::NodeCapabilities caps;
+  caps.node = 1;
+  reg.join(caps);
+  EXPECT_TRUE(reg.update_position(1, {5.0, 5.0}));
+  EXPECT_DOUBLE_EQ(reg.find(1)->position.x, 5.0);
+  EXPECT_FALSE(reg.update_position(9, {0.0, 0.0}));
+}
+
+// --------------------------------------------------------------- query ----
+
+TEST(Query, ContinuousQueriesFireOnMatch) {
+  mw::DataStore db(100);
+  mw::QueryService qs(db);
+  int hot_alerts = 0;
+  mw::RecordFilter hot;
+  hot.sensor = sn::SensorKind::kTemperature;
+  hot.value_min = 30.0;
+  qs.subscribe(hot, [&](const mw::Record&) { ++hot_alerts; });
+  EXPECT_EQ(qs.ingest(make_record(1, sn::SensorKind::kTemperature, 1.0, 25.0)),
+            0u);
+  EXPECT_EQ(qs.ingest(make_record(1, sn::SensorKind::kTemperature, 2.0, 35.0)),
+            1u);
+  EXPECT_EQ(hot_alerts, 1);
+  EXPECT_EQ(db.size(), 2u);  // everything stored regardless of filters
+}
+
+TEST(Query, UnsubscribeStopsContinuous) {
+  mw::DataStore db(10);
+  mw::QueryService qs(db);
+  int hits = 0;
+  auto id = qs.subscribe({}, [&](const mw::Record&) { ++hits; });
+  qs.ingest(make_record(1, sn::SensorKind::kLight, 0.0, 1.0));
+  EXPECT_TRUE(qs.unsubscribe(id));
+  EXPECT_FALSE(qs.unsubscribe(id));
+  qs.ingest(make_record(1, sn::SensorKind::kLight, 1.0, 1.0));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Query, OneShotAggregates) {
+  mw::DataStore db(10);
+  mw::QueryService qs(db);
+  qs.ingest(make_record(1, sn::SensorKind::kLight, 0.0, 2.0));
+  qs.ingest(make_record(1, sn::SensorKind::kLight, 1.0, 4.0));
+  EXPECT_EQ(qs.count({}), 2u);
+  EXPECT_DOUBLE_EQ(*qs.mean({}), 3.0);
+  EXPECT_DOUBLE_EQ(qs.latest({})->value, 4.0);
+  EXPECT_EQ(qs.query({}).size(), 2u);
+}
+
+// ---------------------------------------------------------------- node ----
+
+TEST(Node, MeasureChargesBatteryAndMeter) {
+  mw::MobileNode node(1, {0.0, 0.0});
+  node.add_sensor(temp_sensor());
+  const double before = node.battery().remaining_j();
+  auto v = node.measure(sn::SensorKind::kTemperature, 0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, 21.0, 2.0);
+  EXPECT_LT(node.battery().remaining_j(), before);
+  EXPECT_GT(node.meter().of(ss::EnergyCategory::kSensing), 0.0);
+}
+
+TEST(Node, MeasureRespectsPrivacyAndMissingSensor) {
+  mw::MobileNode node(1, {0.0, 0.0});
+  node.add_sensor(temp_sensor());
+  EXPECT_FALSE(node.measure(sn::SensorKind::kGps, 0).has_value());
+  node.policy().set_sensor_allowed(sn::SensorKind::kTemperature, false);
+  EXPECT_FALSE(node.measure(sn::SensorKind::kTemperature, 0).has_value());
+}
+
+TEST(Node, DeadBatteryRefusesMeasurement) {
+  mw::MobileNode node(1, {0.0, 0.0},
+                      ss::LinkModel::of(ss::RadioKind::kWiFi),
+                      ss::Battery(1e-9));
+  node.add_sensor(temp_sensor());
+  EXPECT_FALSE(node.measure(sn::SensorKind::kTemperature, 0).has_value());
+}
+
+TEST(Node, AdvertiseHonorsPolicy) {
+  mw::MobileNode node(3, {123.0, 456.0});
+  node.add_sensor(temp_sensor());
+  node.add_sensor(sn::SimulatedSensor(sn::SensorKind::kGps,
+                                      sn::QualityTier::kFlagship,
+                                      [](std::size_t) { return 0.9; }));
+  auto caps = node.advertise();
+  ASSERT_TRUE(caps.has_value());
+  EXPECT_EQ(caps->sensors.size(), 2u);
+  node.policy().set_sensor_allowed(sn::SensorKind::kGps, false);
+  node.policy().set_location_granularity_m(100.0);
+  caps = node.advertise();
+  ASSERT_TRUE(caps.has_value());
+  EXPECT_EQ(caps->sensors.size(), 1u);
+  EXPECT_DOUBLE_EQ(caps->position.x, 100.0);  // blurred
+  node.policy().set_opted_out(true);
+  EXPECT_FALSE(node.advertise().has_value());
+}
+
+TEST(Node, SensorSigmaReflectsTier) {
+  mw::MobileNode node(1, {0.0, 0.0});
+  node.add_sensor(temp_sensor(21.0, sn::QualityTier::kBudget));
+  auto sigma = node.sensor_sigma(sn::SensorKind::kTemperature);
+  ASSERT_TRUE(sigma.has_value());
+  EXPECT_DOUBLE_EQ(*sigma,
+                   sn::nominal_noise_sigma(sn::SensorKind::kTemperature) *
+                       sn::tier_noise_factor(sn::QualityTier::kBudget));
+  EXPECT_FALSE(node.sensor_sigma(sn::SensorKind::kGps).has_value());
+}
+
+// -------------------------------------------------------------- broker ----
+
+TEST(Broker, CollectGathersReadingsAndAccountsEnergy) {
+  mw::Broker broker(100, {0.0, 0.0});
+  std::vector<mw::MobileNode> nodes;
+  for (mw::NodeId id = 0; id < 5; ++id) {
+    nodes.emplace_back(id, ss::Point{static_cast<double>(id), 0.0});
+    nodes.back().add_sensor(temp_sensor(20.0 + id));
+  }
+  std::vector<mw::MobileNode*> ptrs;
+  for (auto& n : nodes) ptrs.push_back(&n);
+
+  sl::Rng rng(1);
+  mw::GatherStats stats;
+  auto readings = broker.collect(ptrs, sn::SensorKind::kTemperature, 0, rng,
+                                 &stats, 1.0);
+  EXPECT_EQ(stats.commands_sent, 5u);
+  EXPECT_GE(readings.size(), 4u);  // nodes are close; ~1% loss per leg
+  EXPECT_GT(stats.broker_energy_j, 0.0);
+  EXPECT_GT(stats.bytes_transferred, 0u);
+  EXPECT_EQ(broker.store().size(), readings.size());
+  for (const auto& r : readings) {
+    EXPECT_NEAR(r.value, 20.0 + r.node, 2.0);
+    EXPECT_GT(r.sigma, 0.0);
+  }
+  // Nodes paid radio + sensing energy.
+  EXPECT_GT(nodes[0].meter().total_j(), 0.0);
+}
+
+TEST(Broker, CollectSkipsRefusingNodes) {
+  mw::Broker broker(100, {0.0, 0.0});
+  mw::MobileNode willing(1, {1.0, 0.0});
+  willing.add_sensor(temp_sensor());
+  mw::MobileNode refusing(2, {2.0, 0.0});
+  refusing.add_sensor(temp_sensor());
+  refusing.policy().set_sensor_allowed(sn::SensorKind::kTemperature, false);
+  std::vector<mw::MobileNode*> ptrs{&willing, &refusing};
+  sl::Rng rng(2);
+  mw::GatherStats stats;
+  auto readings =
+      broker.collect(ptrs, sn::SensorKind::kTemperature, 0, rng, &stats);
+  EXPECT_EQ(stats.node_refusals, 1u);
+  for (const auto& r : readings) EXPECT_NE(r.node, 2u);
+}
+
+TEST(Broker, OutOfRangeNodeAlwaysFails) {
+  mw::Broker broker(100, {0.0, 0.0});
+  mw::MobileNode far(1, {5000.0, 0.0});  // beyond WiFi range
+  far.add_sensor(temp_sensor());
+  std::vector<mw::MobileNode*> ptrs{&far};
+  sl::Rng rng(3);
+  mw::GatherStats stats;
+  auto readings =
+      broker.collect(ptrs, sn::SensorKind::kTemperature, 0, rng, &stats);
+  EXPECT_TRUE(readings.empty());
+  EXPECT_EQ(stats.radio_failures, 1u);
+}
+
+TEST(Broker, EnrollHonorsOptOut) {
+  mw::Broker broker(100, {0.0, 0.0});
+  mw::MobileNode node(1, {0.0, 0.0});
+  node.add_sensor(temp_sensor());
+  EXPECT_TRUE(broker.enroll(node));
+  mw::MobileNode hermit(2, {0.0, 0.0});
+  hermit.add_sensor(temp_sensor());
+  hermit.policy().set_opted_out(true);
+  EXPECT_FALSE(broker.enroll(hermit));
+  EXPECT_EQ(broker.registry().size(), 1u);
+}
+
+TEST(Broker, DisseminateFansOutToBus) {
+  mw::Broker broker(100, {0.0, 0.0});
+  int bus_hits = 0;
+  broker.bus().subscribe_prefix("sensor/",
+                                [&](const mw::Message&) { ++bus_hits; });
+  std::vector<mw::Reading> readings{{1, 20.0, 0.1}, {2, 21.0, 0.1}};
+  broker.disseminate(readings, sn::SensorKind::kTemperature, 5.0);
+  EXPECT_EQ(bus_hits, 2);
+}
+
+TEST(Broker, ContinuousQueriesFireDuringCollect) {
+  mw::Broker broker(100, {0.0, 0.0});
+  int query_hits = 0;
+  mw::RecordFilter f;
+  f.sensor = sn::SensorKind::kTemperature;
+  broker.queries().subscribe(f, [&](const mw::Record&) { ++query_hits; });
+  mw::MobileNode node(1, {1.0, 0.0});
+  node.add_sensor(temp_sensor());
+  std::vector<mw::MobileNode*> ptrs{&node};
+  sl::Rng rng(4);
+  const auto readings =
+      broker.collect(ptrs, sn::SensorKind::kTemperature, 0, rng);
+  EXPECT_EQ(query_hits, static_cast<int>(readings.size()));
+}

@@ -1,0 +1,91 @@
+// Tests for reading-vs-consensus reputation tracking.
+#include <gtest/gtest.h>
+
+#include "linalg/random.h"
+#include "middleware/reputation.h"
+#include "scheduling/node_selection.h"
+
+namespace mw = sensedroid::middleware;
+namespace sd = sensedroid::scheduling;
+namespace sl = sensedroid::linalg;
+
+TEST(Reputation, UnseenNodesGetBenefitOfTheDoubt) {
+  mw::ReputationTracker rep;
+  EXPECT_DOUBLE_EQ(rep.score(42), 1.0);
+  EXPECT_EQ(rep.observed_nodes(), 0u);
+  EXPECT_TRUE(rep.flagged().empty());
+}
+
+TEST(Reputation, ConsistentReadingsKeepHighScore) {
+  mw::ReputationTracker rep;
+  sl::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    rep.update(1, 20.0 + rng.gaussian(0.0, 0.1), 20.0, 0.1);
+  }
+  EXPECT_GT(rep.score(1), 0.7);
+  EXPECT_TRUE(rep.flagged().empty());
+}
+
+TEST(Reputation, BiasedSensorDropsAndGetsFlagged) {
+  mw::ReputationTracker rep;
+  for (int i = 0; i < 50; ++i) {
+    rep.update(2, 30.0, 20.0, 0.1);  // 100-sigma bias every round
+  }
+  EXPECT_LT(rep.score(2), 0.1);
+  const auto flagged = rep.flagged();
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 2u);
+}
+
+TEST(Reputation, RecoveryAfterRepair) {
+  mw::ReputationTracker rep({.memory = 0.8, .tolerance = 3.0,
+                             .flag_threshold = 0.3});
+  for (int i = 0; i < 30; ++i) rep.update(3, 40.0, 20.0, 0.1);
+  EXPECT_LT(rep.score(3), 0.3);
+  for (int i = 0; i < 30; ++i) rep.update(3, 20.0, 20.0, 0.1);
+  EXPECT_GT(rep.score(3), 0.7);  // forgiveness after sustained honesty
+  EXPECT_TRUE(rep.flagged().empty());
+}
+
+TEST(Reputation, FlaggedSortsWorstFirst) {
+  mw::ReputationTracker rep;
+  for (int i = 0; i < 50; ++i) {
+    rep.update(10, 25.0, 20.0, 0.1);   // bad
+    rep.update(11, 100.0, 20.0, 0.1);  // worse
+  }
+  const auto flagged = rep.flagged();
+  ASSERT_EQ(flagged.size(), 2u);
+  EXPECT_EQ(flagged[0], 11u);
+  EXPECT_EQ(flagged[1], 10u);
+}
+
+TEST(Reputation, ZeroSigmaIsClamped) {
+  mw::ReputationTracker rep;
+  EXPECT_NO_THROW(rep.update(1, 20.0, 20.0, 0.0));
+  EXPECT_GT(rep.score(1), 0.9);  // exact agreement stays near 1
+}
+
+TEST(Reputation, ScoresSteerReputationWeightedSelection) {
+  // The closed loop: a faulty phone's falling reputation starves it of
+  // selections.
+  mw::ReputationTracker rep;
+  for (int i = 0; i < 60; ++i) {
+    rep.update(0, 90.0, 20.0, 0.1);  // node 0 is broken
+    rep.update(1, 20.0, 20.0, 0.1);
+  }
+  std::vector<sd::Candidate> cands(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    cands[i].id = static_cast<std::uint32_t>(i);
+    cands[i].state_of_charge = 1.0;
+    cands[i].reputation = rep.score(static_cast<mw::NodeId>(i));
+  }
+  sl::Rng rng(9);
+  int picked_broken = 0;
+  for (int t = 0; t < 300; ++t) {
+    auto cc = cands;
+    const auto sel = sd::select_nodes(
+        cc, 1, sd::SelectionPolicy::kReputationWeighted, rng);
+    if (sel[0] == 0) ++picked_broken;
+  }
+  EXPECT_LT(picked_broken, 30);
+}

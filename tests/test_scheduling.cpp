@@ -1,0 +1,230 @@
+// Tests for scheduling: node-selection policies, the adaptive sampler,
+// hysteresis duty cycling, and multi-radio selection.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "scheduling/adaptive_sampling.h"
+#include "scheduling/multi_radio.h"
+#include "scheduling/node_selection.h"
+
+namespace sd = sensedroid::scheduling;
+namespace sl = sensedroid::linalg;
+namespace ss = sensedroid::sim;
+
+namespace {
+
+std::vector<sd::Candidate> make_candidates(std::size_t n) {
+  std::vector<sd::Candidate> c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i].id = static_cast<std::uint32_t>(i);
+    c[i].state_of_charge = 1.0;
+    c[i].reputation = 1.0;
+  }
+  return c;
+}
+
+}  // namespace
+
+// ------------------------------------------------------ node selection ----
+
+TEST(NodeSelection, SelectsDistinctSortedAlive) {
+  auto cands = make_candidates(10);
+  cands[3].state_of_charge = 0.0;  // dead
+  sl::Rng rng(1);
+  for (auto policy : {sd::SelectionPolicy::kRandom,
+                      sd::SelectionPolicy::kBatteryAware,
+                      sd::SelectionPolicy::kRoundRobin,
+                      sd::SelectionPolicy::kReputationWeighted}) {
+    auto cc = cands;
+    auto sel = sd::select_nodes(cc, 5, policy, rng);
+    ASSERT_EQ(sel.size(), 5u) << sd::to_string(policy);
+    for (std::size_t i = 1; i < sel.size(); ++i) {
+      EXPECT_LT(sel[i - 1], sel[i]);
+    }
+    for (auto i : sel) EXPECT_NE(i, 3u);  // dead node never selected
+  }
+}
+
+TEST(NodeSelection, ClampsToAliveCount) {
+  auto cands = make_candidates(4);
+  cands[0].state_of_charge = 0.0;
+  sl::Rng rng(2);
+  auto sel = sd::select_nodes(cands, 10, sd::SelectionPolicy::kRandom, rng);
+  EXPECT_EQ(sel.size(), 3u);
+}
+
+TEST(NodeSelection, BatteryAwarePrefersCharged) {
+  auto cands = make_candidates(2);
+  cands[0].state_of_charge = 0.05;
+  cands[1].state_of_charge = 1.0;
+  sl::Rng rng(3);
+  int picked_low = 0;
+  for (int t = 0; t < 500; ++t) {
+    auto cc = cands;
+    auto sel =
+        sd::select_nodes(cc, 1, sd::SelectionPolicy::kBatteryAware, rng);
+    if (sel[0] == 0) ++picked_low;
+  }
+  EXPECT_LT(picked_low, 50);  // ~0.25% expected with squared weights
+}
+
+TEST(NodeSelection, RoundRobinBalancesLoad) {
+  auto cands = make_candidates(6);
+  sl::Rng rng(4);
+  for (int round = 0; round < 12; ++round) {
+    sd::select_nodes(cands, 2, sd::SelectionPolicy::kRoundRobin, rng);
+  }
+  // 24 selections over 6 nodes -> exactly 4 each.
+  for (const auto& c : cands) EXPECT_EQ(c.times_selected, 4u);
+}
+
+TEST(NodeSelection, ReputationWeightedPrefersGoodNodes) {
+  auto cands = make_candidates(2);
+  cands[0].reputation = 0.01;
+  cands[1].reputation = 1.0;
+  sl::Rng rng(5);
+  int picked_bad = 0;
+  for (int t = 0; t < 500; ++t) {
+    auto cc = cands;
+    auto sel = sd::select_nodes(cc, 1,
+                                sd::SelectionPolicy::kReputationWeighted,
+                                rng);
+    if (sel[0] == 0) ++picked_bad;
+  }
+  EXPECT_LT(picked_bad, 30);
+}
+
+TEST(NodeSelection, SelectionCountsUpdate) {
+  auto cands = make_candidates(3);
+  sl::Rng rng(6);
+  sd::select_nodes(cands, 3, sd::SelectionPolicy::kRandom, rng);
+  for (const auto& c : cands) EXPECT_EQ(c.times_selected, 1u);
+}
+
+// ---------------------------------------------------- adaptive sampler ----
+
+TEST(AdaptiveSampler, GrowsOnHighErrorShrinksOnLow) {
+  sd::AdaptiveSampler s({.m_min = 8, .m_max = 256, .m_initial = 64,
+                         .target_error = 0.1});
+  EXPECT_EQ(s.budget(), 64u);
+  const auto grown = s.observe(0.5);
+  EXPECT_GT(grown, 64u);
+  // Repeated quiet windows shrink additively.
+  std::size_t prev = grown;
+  for (int i = 0; i < 5; ++i) {
+    const auto next = s.observe(0.01);
+    EXPECT_LE(next, prev);
+    prev = next;
+  }
+}
+
+TEST(AdaptiveSampler, RespectsBounds) {
+  sd::AdaptiveSampler s({.m_min = 8, .m_max = 64, .m_initial = 32,
+                         .target_error = 0.1});
+  for (int i = 0; i < 20; ++i) s.observe(10.0);
+  EXPECT_EQ(s.budget(), 64u);
+  for (int i = 0; i < 100; ++i) s.observe(0.0);
+  EXPECT_EQ(s.budget(), 8u);
+}
+
+TEST(AdaptiveSampler, DeadbandHoldsBudget) {
+  sd::AdaptiveSampler s({.m_min = 8, .m_max = 256, .m_initial = 64,
+                         .target_error = 0.1, .deadband = 0.5});
+  // Error between 0.05 and 0.1: inside the deadband, hold.
+  EXPECT_EQ(s.observe(0.07), 64u);
+  EXPECT_EQ(s.observe(0.09), 64u);
+}
+
+TEST(AdaptiveSampler, Validation) {
+  EXPECT_THROW(sd::AdaptiveSampler({.m_min = 0}), std::invalid_argument);
+  EXPECT_THROW(sd::AdaptiveSampler({.m_min = 64, .m_max = 8}),
+               std::invalid_argument);
+  EXPECT_THROW(sd::AdaptiveSampler({.m_initial = 1000}),
+               std::invalid_argument);
+  sd::AdaptiveSampler ok({});
+  EXPECT_THROW(ok.observe(-1.0), std::invalid_argument);
+}
+
+// -------------------------------------------------- hysteresis cycler ----
+
+TEST(Hysteresis, TurnsOffAfterStreakAndBackOnQuickly) {
+  sd::HysteresisDutyCycler h({.lower = 0.4, .upper = 0.8, .on_streak = 3});
+  EXPECT_TRUE(h.is_on());
+  EXPECT_TRUE(h.update(0.9));
+  EXPECT_TRUE(h.update(0.9));
+  EXPECT_FALSE(h.update(0.9));  // third confident window: off
+  EXPECT_FALSE(h.update(0.6));  // in the band: stays off
+  EXPECT_TRUE(h.update(0.2));   // confidence collapsed: back on at once
+}
+
+TEST(Hysteresis, BandPreventsFlapping) {
+  sd::HysteresisDutyCycler h({.lower = 0.4, .upper = 0.8, .on_streak = 1});
+  h.update(0.9);  // off
+  // Oscillation within the band must not toggle the state.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(h.update(i % 2 == 0 ? 0.5 : 0.7));
+  }
+}
+
+TEST(Hysteresis, Validation) {
+  EXPECT_THROW(sd::HysteresisDutyCycler({.lower = 0.8, .upper = 0.4}),
+               std::invalid_argument);
+  EXPECT_THROW(sd::HysteresisDutyCycler({.lower = -0.1, .upper = 0.5}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- multi-radio ----
+
+TEST(MultiRadio, PicksBluetoothAtShortRange) {
+  auto radios = sd::standard_phone_radios();
+  sd::MessageRequirements req;
+  req.bytes = 64;
+  req.distance_m = 5.0;
+  req.max_latency_s = 1.0;
+  auto choice = sd::choose_radio(radios, req);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->kind, ss::RadioKind::kBluetooth);
+}
+
+TEST(MultiRadio, FallsBackToWifiBeyondBtRange) {
+  auto radios = sd::standard_phone_radios();
+  sd::MessageRequirements req;
+  req.distance_m = 50.0;
+  auto choice = sd::choose_radio(radios, req);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->kind, ss::RadioKind::kWiFi);
+}
+
+TEST(MultiRadio, GsmForWideArea) {
+  auto radios = sd::standard_phone_radios();
+  sd::MessageRequirements req;
+  req.distance_m = 2000.0;
+  req.max_latency_s = 5.0;
+  auto choice = sd::choose_radio(radios, req);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->kind, ss::RadioKind::kGsm);
+}
+
+TEST(MultiRadio, NoneQualifies) {
+  auto radios = sd::standard_phone_radios();
+  sd::MessageRequirements req;
+  req.distance_m = 50000.0;  // beyond even GSM
+  EXPECT_FALSE(sd::choose_radio(radios, req).has_value());
+  sd::MessageRequirements tight;
+  tight.distance_m = 2000.0;
+  tight.max_latency_s = 0.001;  // GSM latency alone exceeds this
+  EXPECT_FALSE(sd::choose_radio(radios, tight).has_value());
+}
+
+TEST(MultiRadio, LatencyConstraintOverridesEnergy) {
+  auto radios = sd::standard_phone_radios();
+  // Large payload at short range: BT is cheapest but too slow.
+  sd::MessageRequirements req;
+  req.bytes = 4'000'000;  // 4 MB: 16 s over BT, ~1.6 s over WiFi
+  req.distance_m = 5.0;
+  req.max_latency_s = 3.0;
+  auto choice = sd::choose_radio(radios, req);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->kind, ss::RadioKind::kWiFi);
+}

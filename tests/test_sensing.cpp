@@ -1,0 +1,305 @@
+// Tests for signal generators, simulated sensors, probes, and fusion
+// virtual sensors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/basis.h"
+#include "linalg/vector_ops.h"
+#include "sensing/fusion.h"
+#include "sensing/probe.h"
+#include "sensing/sensor.h"
+#include "sensing/signals.h"
+
+namespace sn = sensedroid::sensing;
+namespace sl = sensedroid::linalg;
+namespace ss = sensedroid::sim;
+
+// ------------------------------------------------------------ signals ----
+
+TEST(Signals, ActivitiesHaveDistinctEnergy) {
+  sl::Rng rng(1);
+  auto idle = sn::accelerometer_trace(sn::Activity::kIdle, 512, 50.0, rng);
+  auto walk = sn::accelerometer_trace(sn::Activity::kWalking, 512, 50.0, rng);
+  auto drive = sn::accelerometer_trace(sn::Activity::kDriving, 512, 50.0, rng);
+  EXPECT_LT(sl::variance(idle) * 50.0, sl::variance(walk));
+  EXPECT_LT(sl::variance(idle) * 5.0, sl::variance(drive));
+}
+
+TEST(Signals, AccelerometerIsDctCompressible) {
+  // The premise of Fig. 4: ~256-sample accelerometer windows reconstruct
+  // from ~30 random samples, i.e. they are very sparse in DCT.
+  sl::Rng rng(2);
+  auto x = sn::accelerometer_trace(sn::Activity::kWalking, 256, 50.0, rng);
+  auto basis = sl::dct_basis(256);
+  EXPECT_LT(sl::effective_sparsity(basis, x, 0.15), 40u);
+}
+
+TEST(Signals, RejectsBadRate) {
+  sl::Rng rng(3);
+  EXPECT_THROW(sn::accelerometer_trace(sn::Activity::kIdle, 10, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(sn::temperature_trace(10, -1.0, rng), std::invalid_argument);
+}
+
+TEST(Signals, LabeledTraceShapesMatch) {
+  sl::Rng rng(4);
+  auto t = sn::labeled_activity_trace(5, 100, 50.0, rng);
+  EXPECT_EQ(t.samples.size(), 500u);
+  EXPECT_EQ(t.labels.size(), 500u);
+  // Labels constant within segments.
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (std::size_t i = 1; i < 100; ++i) {
+      EXPECT_EQ(t.labels[s * 100], t.labels[s * 100 + i]);
+    }
+  }
+}
+
+TEST(Signals, IndoorScheduleAlternates) {
+  sl::Rng rng(5);
+  auto sched = sn::indoor_schedule(1000, 50.0, rng);
+  ASSERT_EQ(sched.size(), 1000u);
+  int transitions = 0;
+  for (std::size_t i = 1; i < sched.size(); ++i) {
+    if (sched[i] != sched[i - 1]) ++transitions;
+  }
+  EXPECT_GT(transitions, 3);
+  EXPECT_LT(transitions, 200);
+  EXPECT_THROW(sn::indoor_schedule(10, 0.0, rng), std::invalid_argument);
+}
+
+TEST(Signals, GpsAndWifiSeparateIndoorOutdoor) {
+  sl::Rng rng(6);
+  std::vector<bool> indoor(200, false);
+  for (std::size_t i = 100; i < 200; ++i) indoor[i] = true;
+  auto gps = sn::gps_quality_trace(indoor, rng);
+  auto wifi = sn::wifi_count_trace(indoor, rng);
+  const auto out_gps = sl::mean(std::span(gps).first(100));
+  const auto in_gps = sl::mean(std::span(gps).last(100));
+  EXPECT_GT(out_gps, in_gps + 0.5);
+  const auto out_wifi = sl::mean(std::span(wifi).first(100));
+  const auto in_wifi = sl::mean(std::span(wifi).last(100));
+  EXPECT_GT(in_wifi, out_wifi + 3.0);
+}
+
+TEST(Signals, TemperatureHasDiurnalSwing) {
+  sl::Rng rng(7);
+  // One sample per hour over 2 days.
+  auto t = sn::temperature_trace(48, 1.0 / 3600.0, rng, 20.0, 5.0);
+  const double swing = *std::max_element(t.begin(), t.end()) -
+                       *std::min_element(t.begin(), t.end());
+  EXPECT_GT(swing, 5.0);
+  EXPECT_LT(swing, 15.0);
+}
+
+TEST(Signals, MicrophoneBurstsAboveFloor) {
+  sl::Rng rng(8);
+  auto spl = sn::microphone_spl_trace(2000, rng, 35.0, 75.0, 0.05);
+  int loud = 0;
+  for (double v : spl) {
+    if (v > 60.0) ++loud;
+  }
+  EXPECT_GT(loud, 10);       // bursts happen
+  EXPECT_LT(loud, 1500);     // but are not the norm
+}
+
+// ------------------------------------------------------------- sensor ----
+
+TEST(Sensor, TierScalesNoise) {
+  EXPECT_LT(sn::tier_noise_factor(sn::QualityTier::kFlagship),
+            sn::tier_noise_factor(sn::QualityTier::kMidrange));
+  EXPECT_LT(sn::tier_noise_factor(sn::QualityTier::kMidrange),
+            sn::tier_noise_factor(sn::QualityTier::kBudget));
+}
+
+TEST(Sensor, ReadAddsBoundedNoiseAndChargesEnergy) {
+  sn::SimulatedSensor s(sn::SensorKind::kTemperature,
+                        sn::QualityTier::kMidrange,
+                        [](std::size_t) { return 20.0; }, 42);
+  ss::EnergyMeter meter;
+  double dev = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    dev += std::abs(s.read(i, &meter) - 20.0);
+  }
+  EXPECT_GT(dev, 0.0);
+  EXPECT_LT(dev / 200.0, 5.0 * s.noise_sigma());
+  EXPECT_NEAR(meter.of(ss::EnergyCategory::kSensing),
+              200.0 * sn::sample_cost_j(sn::SensorKind::kTemperature),
+              1e-12);
+}
+
+TEST(Sensor, ReadWithoutMeterIsAllowed) {
+  sn::SimulatedSensor s(sn::SensorKind::kLight, sn::QualityTier::kBudget,
+                        [](std::size_t i) { return double(i); });
+  EXPECT_NO_THROW(s.read(3));
+  EXPECT_DOUBLE_EQ(s.truth(3), 3.0);
+}
+
+TEST(Sensor, RejectsEmptyTruth) {
+  EXPECT_THROW(sn::SimulatedSensor(sn::SensorKind::kGps,
+                                   sn::QualityTier::kMidrange, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Sensor, SampleCostsMatchEnergyTable) {
+  EXPECT_DOUBLE_EQ(sn::sample_cost_j(sn::SensorKind::kGps),
+                   ss::SensingCosts::defaults().gps_j);
+  EXPECT_DOUBLE_EQ(sn::sample_cost_j(sn::SensorKind::kWifiScanner),
+                   ss::SensingCosts::defaults().wifi_scan_j);
+}
+
+// -------------------------------------------------------------- probe ----
+
+namespace {
+sn::SimulatedSensor ramp_sensor() {
+  return sn::SimulatedSensor(
+      sn::SensorKind::kTemperature, sn::QualityTier::kFlagship,
+      [](std::size_t i) { return static_cast<double>(i); }, 7);
+}
+}  // namespace
+
+TEST(Probe, ContinuousReadsWholeWindow) {
+  sn::SensingProbe p(ramp_sensor(), {.mode = sn::SamplingMode::kContinuous,
+                                     .window = 16, .budget = 16});
+  auto b = p.acquire(100);
+  EXPECT_EQ(b.indices.size(), 16u);
+  EXPECT_EQ(b.values.size(), 16u);
+  EXPECT_EQ(b.window, 16u);
+  // First reading near truth at absolute index 100.
+  EXPECT_NEAR(b.values[0], 100.0, 1.0);
+}
+
+TEST(Probe, CompressiveReadsBudgetRandomSamples) {
+  sn::SensingProbe p(ramp_sensor(), {.mode = sn::SamplingMode::kCompressive,
+                                     .window = 64, .budget = 8, .seed = 3});
+  auto b1 = p.acquire(0);
+  EXPECT_EQ(b1.indices.size(), 8u);
+  for (std::size_t i = 1; i < b1.indices.size(); ++i) {
+    EXPECT_LT(b1.indices[i - 1], b1.indices[i]);
+  }
+  auto b2 = p.acquire(0);
+  EXPECT_NE(b1.indices, b2.indices);  // fresh schedule each window
+}
+
+TEST(Probe, UniformModeIsEvenlySpaced) {
+  sn::SensingProbe p(ramp_sensor(), {.mode = sn::SamplingMode::kUniform,
+                                     .window = 100, .budget = 10});
+  auto b = p.acquire(0);
+  ASSERT_EQ(b.indices.size(), 10u);
+  EXPECT_EQ(b.indices[0], 0u);
+  EXPECT_EQ(b.indices[5], 50u);
+}
+
+TEST(Probe, EnergyScalesWithBudget) {
+  sn::SensingProbe cont(ramp_sensor(), {.mode = sn::SamplingMode::kContinuous,
+                                        .window = 256, .budget = 256});
+  sn::SensingProbe comp(ramp_sensor(),
+                        {.mode = sn::SamplingMode::kCompressive,
+                         .window = 256, .budget = 32});
+  EXPECT_NEAR(comp.window_energy_j() / cont.window_energy_j(), 32.0 / 256.0,
+              1e-9);
+  ss::EnergyMeter m;
+  auto b = comp.acquire(0, &m);
+  EXPECT_NEAR(b.energy_j, comp.window_energy_j(), 1e-12);
+  EXPECT_NEAR(m.total_j(), b.energy_j, 1e-12);
+}
+
+TEST(Probe, ValidatesConfig) {
+  EXPECT_THROW(sn::SensingProbe(ramp_sensor(), {.window = 0, .budget = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(sn::SensingProbe(ramp_sensor(), {.window = 8, .budget = 9}),
+               std::invalid_argument);
+  EXPECT_THROW(sn::SensingProbe(ramp_sensor(), {.window = 8, .budget = 0}),
+               std::invalid_argument);
+}
+
+TEST(Probe, BatchConvertsToMeasurement) {
+  sn::SensingProbe p(ramp_sensor(), {.mode = sn::SamplingMode::kCompressive,
+                                     .window = 32, .budget = 8, .seed = 5});
+  auto b = p.acquire(0);
+  auto m = b.to_measurement(0.1);
+  EXPECT_EQ(m.plan.signal_size(), 32u);
+  EXPECT_EQ(m.plan.measurement_count(), 8u);
+  EXPECT_EQ(m.noise.size(), 8u);
+  EXPECT_DOUBLE_EQ(m.noise.stddev[0], 0.1);
+}
+
+// -------------------------------------------------------------- fusion ----
+
+TEST(Fusion, FlatDeviceHasZeroAttitude) {
+  auto o = sn::attitude_from_gravity({0.0, 0.0, 9.81});
+  EXPECT_NEAR(o.pitch, 0.0, 1e-12);
+  EXPECT_NEAR(o.roll, 0.0, 1e-12);
+}
+
+TEST(Fusion, KnownTiltsRecovered) {
+  const double g = 9.81;
+  // 30-degree pitch: gravity rotates into +y.
+  const double s = std::sin(std::numbers::pi / 6.0);
+  const double c = std::cos(std::numbers::pi / 6.0);
+  auto o = sn::attitude_from_gravity({0.0, g * s, g * c});
+  EXPECT_NEAR(o.pitch, std::numbers::pi / 6.0, 1e-9);
+  EXPECT_NEAR(o.roll, 0.0, 1e-9);
+}
+
+TEST(Fusion, ZeroGravityIsSafe) {
+  auto o = sn::attitude_from_gravity({0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(o.pitch, 0.0);
+  EXPECT_DOUBLE_EQ(sn::inclination({0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(Fusion, InclinationOfTiltedDevice) {
+  EXPECT_NEAR(sn::inclination({0.0, 0.0, 1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(sn::inclination({1.0, 0.0, 0.0}), std::numbers::pi / 2.0,
+              1e-12);
+  EXPECT_NEAR(sn::inclination({0.0, 0.0, -1.0}), std::numbers::pi, 1e-12);
+}
+
+TEST(Fusion, HeadingFlatNorthIsZero) {
+  // Device flat, magnetic field pointing +x (north in device frame).
+  const double h =
+      sn::tilt_compensated_heading({0, 0, 9.81}, {30.0, 0.0, -20.0});
+  EXPECT_NEAR(h, 0.0, 1e-9);
+}
+
+TEST(Fusion, HeadingFlatEastIsQuarterTurn) {
+  // Field along -y in device frame: device faces east of north.
+  const double h =
+      sn::tilt_compensated_heading({0, 0, 9.81}, {0.0, -30.0, -20.0});
+  EXPECT_NEAR(h, std::numbers::pi / 2.0, 1e-9);
+}
+
+TEST(Fusion, ComplementaryFilterTracksStaticAttitude) {
+  sn::ComplementaryFilter f(0.9);
+  sn::TriAxial accel{0.0, 9.81 * 0.5, 9.81 * std::sqrt(3.0) / 2.0};
+  sn::TriAxial mag{25.0, 0.0, -30.0};
+  sn::Orientation o;
+  for (int i = 0; i < 100; ++i) {
+    o = f.update({0, 0, 0}, accel, mag, 0.02);
+  }
+  EXPECT_NEAR(o.pitch, std::numbers::pi / 6.0, 0.01);
+}
+
+TEST(Fusion, ComplementaryFilterSmoothsGyroNoise) {
+  sl::Rng rng(9);
+  sn::ComplementaryFilter f(0.95);
+  sn::TriAxial accel{0.0, 0.0, 9.81};
+  sn::TriAxial mag{30.0, 0.0, -20.0};
+  double worst = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    auto o = f.update({rng.gaussian(0.0, 0.05), rng.gaussian(0.0, 0.05), 0.0},
+                      accel, mag, 0.02);
+    worst = std::max(worst, std::abs(o.pitch));
+  }
+  EXPECT_LT(worst, 0.15);  // bounded drift despite noisy gyro
+}
+
+TEST(Fusion, FilterValidatesParameters) {
+  EXPECT_THROW(sn::ComplementaryFilter(1.0), std::invalid_argument);
+  EXPECT_THROW(sn::ComplementaryFilter(-0.1), std::invalid_argument);
+  sn::ComplementaryFilter f(0.9);
+  EXPECT_THROW(f.update({0, 0, 0}, {0, 0, 9.81}, {30, 0, -20}, -1.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,307 @@
+// Tests for the discrete-event engine, radio models, mobility, and energy
+// accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/energy.h"
+#include "sim/event_sim.h"
+#include "sim/geometry.h"
+#include "sim/mobility.h"
+#include "sim/radio.h"
+
+namespace ss = sensedroid::sim;
+namespace sl = sensedroid::linalg;
+
+// ---------------------------------------------------------- geometry ----
+
+TEST(Geometry, DistanceAndRect) {
+  ss::Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(ss::distance(a, b), 5.0);
+  ss::Rect r{0, 0, 10, 20};
+  EXPECT_DOUBLE_EQ(r.width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.height(), 20.0);
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_FALSE(r.contains({-1, 5}));
+  auto c = r.clamp({-5, 25});
+  EXPECT_DOUBLE_EQ(c.x, 0.0);
+  EXPECT_DOUBLE_EQ(c.y, 20.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 5.0);
+}
+
+// ----------------------------------------------------------- eventsim ----
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  ss::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesFireInScheduleOrder) {
+  ss::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingWorks) {
+  ss::Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule(1.0, [&] {
+    sim.schedule(2.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  ss::Simulator sim;
+  int count = 0;
+  sim.schedule(1.0, [&] { ++count; });
+  sim.schedule(5.0, [&] { ++count; });
+  EXPECT_EQ(sim.run_until(2.0), 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  ss::Simulator sim;
+  int count = 0;
+  auto id = sim.schedule(1.0, [&] { ++count; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel
+  sim.run();
+  EXPECT_EQ(count, 0);
+  EXPECT_FALSE(sim.cancel(999));  // unknown id
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  ss::Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, StepExecutesBoundedCount) {
+  ss::Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule(1.0 * i, [&] { ++count; });
+  EXPECT_EQ(sim.step(2), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.step(10), 3u);  // only 3 left
+}
+
+// -------------------------------------------------------------- radio ----
+
+TEST(Radio, KindsHaveDistinctCharacter) {
+  auto wifi = ss::LinkModel::of(ss::RadioKind::kWiFi);
+  auto bt = ss::LinkModel::of(ss::RadioKind::kBluetooth);
+  auto gsm = ss::LinkModel::of(ss::RadioKind::kGsm);
+  // Bluetooth cheapest per byte, GSM most expensive.
+  EXPECT_LT(bt.tx_energy_per_byte_j, wifi.tx_energy_per_byte_j);
+  EXPECT_LT(wifi.tx_energy_per_byte_j, gsm.tx_energy_per_byte_j);
+  // GSM reaches furthest, Bluetooth shortest.
+  EXPECT_LT(bt.range_m, wifi.range_m);
+  EXPECT_LT(wifi.range_m, gsm.range_m);
+}
+
+TEST(Radio, TransferTimeIncludesLatencyAndSerialization) {
+  auto wifi = ss::LinkModel::of(ss::RadioKind::kWiFi);
+  const double t0 = wifi.transfer_time_s(0);
+  EXPECT_DOUBLE_EQ(t0, wifi.base_latency_s);
+  const double t1 = wifi.transfer_time_s(20'000'000 / 8);  // 1 s of payload
+  EXPECT_NEAR(t1 - t0, 1.0, 1e-9);
+}
+
+TEST(Radio, EnergyLinearInBytes) {
+  auto bt = ss::LinkModel::of(ss::RadioKind::kBluetooth);
+  EXPECT_DOUBLE_EQ(bt.tx_energy_j(1000), 1000 * bt.tx_energy_per_byte_j);
+  EXPECT_DOUBLE_EQ(bt.rx_energy_j(1000), 1000 * bt.rx_energy_per_byte_j);
+  EXPECT_DOUBLE_EQ(bt.tx_energy_j(0), 0.0);
+}
+
+TEST(Radio, DeliveryProbabilityDecaysWithDistance) {
+  auto wifi = ss::LinkModel::of(ss::RadioKind::kWiFi);
+  const double near = wifi.delivery_probability(1.0);
+  const double mid = wifi.delivery_probability(50.0);
+  const double edge = wifi.delivery_probability(99.0);
+  const double out = wifi.delivery_probability(150.0);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, edge);
+  EXPECT_DOUBLE_EQ(out, 0.0);
+  EXPECT_NEAR(near, 1.0 - wifi.base_loss, 0.01);
+}
+
+TEST(Radio, DeliverySucceedsMatchesProbability) {
+  auto wifi = ss::LinkModel::of(ss::RadioKind::kWiFi);
+  sl::Rng rng(1);
+  int ok = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (wifi.delivery_succeeds(50.0, rng)) ++ok;
+  }
+  const double expected = wifi.delivery_probability(50.0);
+  EXPECT_NEAR(static_cast<double>(ok) / trials, expected, 0.03);
+}
+
+// ----------------------------------------------------------- mobility ----
+
+TEST(Mobility, RandomWaypointStaysInRegion) {
+  sl::Rng rng(2);
+  ss::RandomWaypoint::Params p;
+  p.region = {0, 0, 50, 50};
+  ss::RandomWaypoint w(p, rng);
+  for (int i = 0; i < 200; ++i) {
+    w.step(1.0, rng);
+    EXPECT_TRUE(p.region.contains(w.position()));
+  }
+}
+
+TEST(Mobility, RandomWaypointRespectsSpeedLimit) {
+  sl::Rng rng(3);
+  ss::RandomWaypoint::Params p;
+  p.region = {0, 0, 1000, 1000};
+  p.min_speed_mps = 1.0;
+  p.max_speed_mps = 2.0;
+  p.pause_s = 0.0;
+  ss::RandomWaypoint w(p, rng);
+  for (int i = 0; i < 100; ++i) {
+    auto before = w.position();
+    w.step(1.0, rng);
+    EXPECT_LE(ss::distance(before, w.position()), 2.0 + 1e-9);
+  }
+}
+
+TEST(Mobility, RandomWaypointActuallyMoves) {
+  sl::Rng rng(4);
+  ss::RandomWaypoint::Params p;
+  p.pause_s = 0.0;
+  ss::RandomWaypoint w(p, rng);
+  auto start = w.position();
+  w.step(10.0, rng);
+  EXPECT_GT(ss::distance(start, w.position()), 0.1);
+}
+
+TEST(Mobility, PauseHoldsPosition) {
+  sl::Rng rng(5);
+  ss::RandomWaypoint::Params p;
+  p.region = {0, 0, 10, 10};
+  p.pause_s = 1000.0;
+  p.min_speed_mps = p.max_speed_mps = 100.0;  // reach waypoint instantly
+  ss::RandomWaypoint w(p, rng);
+  w.step(1.0, rng);  // arrives somewhere, starts pausing
+  auto held = w.position();
+  w.step(5.0, rng);
+  EXPECT_DOUBLE_EQ(ss::distance(held, w.position()), 0.0);
+}
+
+TEST(Mobility, PedestrianStaysOnGridAndInRegion) {
+  sl::Rng rng(6);
+  ss::PedestrianGrid::Params p;
+  p.region = {0, 0, 400, 400};
+  p.block_m = 100.0;
+  ss::PedestrianGrid w(p, rng);
+  for (int i = 0; i < 300; ++i) {
+    w.step(7.0, rng);
+    const auto pos = w.position();
+    EXPECT_TRUE(p.region.contains(pos));
+    // On a street: x or y is a multiple of the block size.
+    const double fx = std::fmod(pos.x, p.block_m);
+    const double fy = std::fmod(pos.y, p.block_m);
+    const bool on_street = std::min(fx, p.block_m - fx) < 1e-6 ||
+                           std::min(fy, p.block_m - fy) < 1e-6;
+    EXPECT_TRUE(on_street) << "at (" << pos.x << ", " << pos.y << ")";
+  }
+}
+
+TEST(Mobility, CrowdStepsAllWalkers) {
+  sl::Rng rng(7);
+  ss::RandomWaypoint::Params p;
+  p.pause_s = 0.0;
+  ss::Crowd crowd(10, p, rng);
+  EXPECT_EQ(crowd.size(), 10u);
+  auto before = crowd.positions();
+  crowd.step(10.0, rng);
+  auto after = crowd.positions();
+  int moved = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (ss::distance(before[i], after[i]) > 0.01) ++moved;
+  }
+  EXPECT_GE(moved, 8);
+}
+
+TEST(Mobility, NegativeDtRejected) {
+  sl::Rng rng(8);
+  ss::RandomWaypoint w({}, rng);
+  EXPECT_THROW(w.step(-1.0, rng), std::invalid_argument);
+  ss::PedestrianGrid g({}, rng);
+  EXPECT_THROW(g.step(-1.0, rng), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- energy ----
+
+TEST(Energy, MeterAccumulatesByCategory) {
+  ss::EnergyMeter m;
+  m.add(ss::EnergyCategory::kSensing, 1.0);
+  m.add(ss::EnergyCategory::kSensing, 2.0);
+  m.add(ss::EnergyCategory::kTx, 0.5);
+  EXPECT_DOUBLE_EQ(m.of(ss::EnergyCategory::kSensing), 3.0);
+  EXPECT_DOUBLE_EQ(m.of(ss::EnergyCategory::kTx), 0.5);
+  EXPECT_DOUBLE_EQ(m.total_j(), 3.5);
+  EXPECT_THROW(m.add(ss::EnergyCategory::kRx, -1.0), std::invalid_argument);
+}
+
+TEST(Energy, MeterMergeAndReset) {
+  ss::EnergyMeter a, b;
+  a.add(ss::EnergyCategory::kTx, 1.0);
+  b.add(ss::EnergyCategory::kTx, 2.0);
+  b.add(ss::EnergyCategory::kRx, 1.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.of(ss::EnergyCategory::kTx), 3.0);
+  EXPECT_DOUBLE_EQ(a.total_j(), 4.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.total_j(), 0.0);
+}
+
+TEST(Energy, BatteryDrainsAndClamps) {
+  ss::Battery b(10.0);
+  EXPECT_TRUE(b.draw(4.0));
+  EXPECT_DOUBLE_EQ(b.remaining_j(), 6.0);
+  EXPECT_NEAR(b.state_of_charge(), 0.6, 1e-12);
+  EXPECT_FALSE(b.depleted());
+  EXPECT_FALSE(b.draw(100.0));  // over-draw clamps to empty
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining_j(), 0.0);
+  EXPECT_THROW(b.draw(-1.0), std::invalid_argument);
+  EXPECT_THROW(ss::Battery(-5.0), std::invalid_argument);
+}
+
+TEST(Energy, SensingCostsOrdering) {
+  const auto& c = ss::SensingCosts::defaults();
+  // The paper's energy argument rests on GPS/WiFi >> inertial sensors.
+  EXPECT_GT(c.gps_j, 100 * c.accelerometer_j);
+  EXPECT_GT(c.wifi_scan_j, 100 * c.accelerometer_j);
+  EXPECT_GT(c.microphone_j, c.accelerometer_j);
+}
+
+TEST(Energy, CategoryNames) {
+  EXPECT_EQ(ss::to_string(ss::EnergyCategory::kSensing), "sensing");
+  EXPECT_EQ(ss::to_string(ss::EnergyCategory::kIdle), "idle");
+}

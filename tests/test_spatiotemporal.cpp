@@ -1,0 +1,152 @@
+// Tests for CHS warm starting and the sequential spatio-temporal
+// reconstructor.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cs/spatiotemporal.h"
+#include "field/traces.h"
+#include "linalg/basis.h"
+#include "linalg/vector_ops.h"
+
+namespace sc = sensedroid::cs;
+namespace sf = sensedroid::field;
+namespace sl = sensedroid::linalg;
+
+namespace {
+
+// A K-sparse signal whose support is known.
+sl::Vector sparse_signal(const sl::Matrix& basis,
+                         const std::vector<std::size_t>& support,
+                         sl::Rng& rng) {
+  sl::Vector alpha(basis.cols(), 0.0);
+  for (std::size_t j : support) {
+    alpha[j] = rng.uniform(1.0, 2.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+  }
+  return sl::synthesize(basis, alpha);
+}
+
+}  // namespace
+
+TEST(WarmStart, CorrectPriorConvergesInFewerIterations) {
+  const std::size_t n = 128, m = 32;
+  auto basis = sl::dct_basis(n);
+  sl::Rng rng(1);
+  const std::vector<std::size_t> support{3, 11, 27, 40};
+  auto x = sparse_signal(basis, support, rng);
+  auto plan = sc::MeasurementPlan::random(n, m, rng);
+  const auto meas = sc::measure_exact(x, plan);
+
+  const auto cold = sc::chs_reconstruct(basis, meas);
+  sc::ChsOptions warm_opts;
+  warm_opts.initial_support = support;  // oracle prior
+  const auto warm = sc::chs_reconstruct(basis, meas, warm_opts);
+
+  EXPECT_LT(sl::nrmse(warm.reconstruction, x), 1e-8);
+  EXPECT_LT(warm.iterations, std::max<std::size_t>(cold.iterations, 1));
+}
+
+TEST(WarmStart, WrongPriorStillRecovers) {
+  // A stale/wrong prior must not poison the solve: CHS keeps iterating
+  // and finds the true atoms.
+  const std::size_t n = 128, m = 48;
+  auto basis = sl::dct_basis(n);
+  sl::Rng rng(2);
+  auto x = sparse_signal(basis, {5, 17, 33}, rng);
+  auto plan = sc::MeasurementPlan::random(n, m, rng);
+  const auto meas = sc::measure_exact(x, plan);
+  sc::ChsOptions opts;
+  opts.initial_support = {60, 61, 62};  // all wrong
+  const auto res = sc::chs_reconstruct(basis, meas, opts);
+  EXPECT_LT(sl::nrmse(res.reconstruction, x), 0.05);
+}
+
+TEST(WarmStart, ValidatesSupportIndices) {
+  const std::size_t n = 16;
+  auto basis = sl::dct_basis(n);
+  sl::Rng rng(3);
+  sl::Vector x(n, 1.0);
+  auto plan = sc::MeasurementPlan::random(n, 8, rng);
+  const auto meas = sc::measure_exact(x, plan);
+  sc::ChsOptions opts;
+  opts.initial_support = {99};
+  EXPECT_THROW(sc::chs_reconstruct(basis, meas, opts),
+               std::invalid_argument);
+}
+
+TEST(WarmStart, DuplicatePriorEntriesAreDeduplicated) {
+  const std::size_t n = 64, m = 24;
+  auto basis = sl::dct_basis(n);
+  sl::Rng rng(4);
+  auto x = sparse_signal(basis, {2, 9}, rng);
+  auto plan = sc::MeasurementPlan::random(n, m, rng);
+  const auto meas = sc::measure_exact(x, plan);
+  sc::ChsOptions opts;
+  opts.initial_support = {2, 2, 9, 9, 2};
+  const auto res = sc::chs_reconstruct(basis, meas, opts);
+  // Support stays sorted/unique.
+  for (std::size_t i = 1; i < res.support.size(); ++i) {
+    EXPECT_LT(res.support[i - 1], res.support[i]);
+  }
+  EXPECT_LT(sl::nrmse(res.reconstruction, x), 1e-8);
+}
+
+TEST(Sequential, TracksEvolvingFieldBetterThanColdStart) {
+  // Evolving plume frames at a small budget: the warm-started stream
+  // should beat independent cold solves on average.
+  const std::size_t w = 10, h = 10, m = 22;
+  const std::size_t n = w * h;
+  sl::Rng rng(5);
+  auto traces = sf::evolving_plume_traces(w, h, 2, 12, rng, 0.4);
+  auto basis = sl::dct_basis(n);
+
+  sc::SequentialReconstructor::Params params;
+  params.chs.interpolation = sc::Interpolation::kLinear;
+  sc::SequentialReconstructor seq(params);
+
+  double warm_err = 0.0, cold_err = 0.0;
+  for (std::size_t t = 0; t < traces.count(); ++t) {
+    const auto x = traces.at(t).vectorize();
+    sl::Rng plan_rng(100 + t);
+    auto plan = sc::MeasurementPlan::random(n, m, plan_rng);
+    auto noise = sc::SensorNoise::homogeneous(m, 0.01);
+    const auto meas = sc::measure(x, std::move(plan), std::move(noise),
+                                  plan_rng);
+    warm_err += sl::nrmse(seq.step(basis, meas).reconstruction, x);
+    sc::ChsOptions cold;
+    cold.interpolation = sc::Interpolation::kLinear;
+    cold_err += sl::nrmse(sc::chs_reconstruct(basis, meas, cold)
+                              .reconstruction, x);
+  }
+  EXPECT_LE(warm_err, cold_err * 1.05);  // at least as good
+  EXPECT_EQ(seq.frames_processed(), traces.count());
+  EXPECT_FALSE(seq.carried_support().empty());
+}
+
+TEST(Sequential, ResetForgetsCarriedSupport) {
+  const std::size_t n = 64, m = 24;
+  auto basis = sl::dct_basis(n);
+  sl::Rng rng(6);
+  auto x = sparse_signal(basis, {4, 8}, rng);
+  auto plan = sc::MeasurementPlan::random(n, m, rng);
+  const auto meas = sc::measure_exact(x, plan);
+  sc::SequentialReconstructor seq({});
+  seq.step(basis, meas);
+  EXPECT_FALSE(seq.carried_support().empty());
+  seq.reset();
+  EXPECT_TRUE(seq.carried_support().empty());
+}
+
+TEST(Sequential, CarryCapLimitsState) {
+  const std::size_t n = 64, m = 32;
+  auto basis = sl::dct_basis(n);
+  sl::Rng rng(7);
+  auto x = sparse_signal(basis, {1, 5, 9, 13, 17, 21}, rng);
+  auto plan = sc::MeasurementPlan::random(n, m, rng);
+  const auto meas = sc::measure_exact(x, plan);
+  sc::SequentialReconstructor::Params params;
+  params.max_carry = 3;
+  sc::SequentialReconstructor seq(params);
+  seq.step(basis, meas);
+  EXPECT_LE(seq.carried_support().size(), 3u);
+}

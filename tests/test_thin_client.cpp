@@ -1,0 +1,129 @@
+// Tests for the node-side thin client: the full decode -> execute ->
+// encode path of Fig. 2's mobile-node middleware.
+#include <gtest/gtest.h>
+
+#include "middleware/thin_client.h"
+
+namespace mw = sensedroid::middleware;
+namespace sn = sensedroid::sensing;
+namespace sl = sensedroid::linalg;
+namespace ss = sensedroid::sim;
+
+namespace {
+
+mw::MobileNode make_node(mw::NodeId id = 7) {
+  mw::MobileNode node(id, {0.0, 0.0});
+  node.add_sensor(sn::SimulatedSensor(
+      sn::SensorKind::kTemperature, sn::QualityTier::kFlagship,
+      [](std::size_t i) { return 20.0 + static_cast<double>(i); }, 42));
+  return node;
+}
+
+}  // namespace
+
+TEST(ThinClient, MeasureCommandRoundTrips) {
+  auto node = make_node();
+  mw::ThinClient client(node);
+  const auto frame =
+      mw::make_measure_command(sn::SensorKind::kTemperature, 3);
+  const auto reply_frame = client.handle(frame, 10.0);
+  ASSERT_TRUE(reply_frame.has_value());
+  const auto reply = mw::decode_message(*reply_frame);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->topic, "sensor/temperature");
+  EXPECT_EQ(reply->sender, 7u);
+  const auto& rec = std::get<mw::Record>(reply->payload);
+  EXPECT_NEAR(rec.value, 23.0, 1.0);  // truth 20+3 with flagship noise
+  EXPECT_EQ(client.commands_handled(), 1u);
+}
+
+TEST(ThinClient, CorruptFrameIsDropped) {
+  auto node = make_node();
+  mw::ThinClient client(node);
+  auto frame = mw::make_measure_command(sn::SensorKind::kTemperature, 0);
+  frame[2] ^= 0xFF;
+  EXPECT_FALSE(client.handle(frame, 0.0).has_value());
+  EXPECT_EQ(client.commands_handled(), 0u);
+}
+
+TEST(ThinClient, PrivacyRefusalCounted) {
+  auto node = make_node();
+  node.policy().set_sensor_allowed(sn::SensorKind::kTemperature, false);
+  mw::ThinClient client(node);
+  const auto frame =
+      mw::make_measure_command(sn::SensorKind::kTemperature, 0);
+  EXPECT_FALSE(client.handle(frame, 0.0).has_value());
+  EXPECT_EQ(client.commands_refused(), 1u);
+}
+
+TEST(ThinClient, AdvertiseListsAllowedSensors) {
+  auto node = make_node();
+  node.add_sensor(sn::SimulatedSensor(
+      sn::SensorKind::kGps, sn::QualityTier::kMidrange,
+      [](std::size_t) { return 0.8; }));
+  node.policy().set_sensor_allowed(sn::SensorKind::kGps, false);
+  mw::ThinClient client(node);
+  const auto reply_frame =
+      client.handle(mw::make_advertise_command(), 1.0);
+  ASSERT_TRUE(reply_frame.has_value());
+  const auto reply = mw::decode_message(*reply_frame);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->topic, "node/capabilities");
+  const auto& kinds = std::get<sl::Vector>(reply->payload);
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(static_cast<sn::SensorKind>(static_cast<int>(kinds[0])),
+            sn::SensorKind::kTemperature);
+}
+
+TEST(ThinClient, WindowCommandReturnsIndexValuePairs) {
+  auto node = make_node();
+  mw::ThinClient client(node);
+  const auto reply_frame = client.handle(
+      mw::make_window_command(sn::SensorKind::kTemperature, 64, 8), 2.0);
+  ASSERT_TRUE(reply_frame.has_value());
+  const auto reply = mw::decode_message(*reply_frame);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->topic, "window/temperature");
+  const auto& pairs = std::get<sl::Vector>(reply->payload);
+  ASSERT_EQ(pairs.size(), 16u);  // 8 (index, value) pairs
+  for (std::size_t p = 0; p < 8; ++p) {
+    const double idx = pairs[2 * p];
+    const double val = pairs[2 * p + 1];
+    EXPECT_GE(idx, 0.0);
+    EXPECT_LT(idx, 64.0);
+    EXPECT_NEAR(val, 20.0 + idx, 1.0);
+  }
+}
+
+TEST(ThinClient, WindowValidatesBudget) {
+  auto node = make_node();
+  mw::ThinClient client(node);
+  EXPECT_FALSE(
+      client.handle(mw::make_window_command(sn::SensorKind::kTemperature,
+                                            8, 9), 0.0)
+          .has_value());
+  EXPECT_FALSE(
+      client.handle(mw::make_window_command(sn::SensorKind::kTemperature,
+                                            0, 0), 0.0)
+          .has_value());
+}
+
+TEST(ThinClient, UnknownCommandRefused) {
+  auto node = make_node();
+  mw::ThinClient client(node);
+  const auto frame = mw::encode_message({"cmd/reboot", 0, 0.0, 0.0});
+  EXPECT_FALSE(client.handle(frame, 0.0).has_value());
+  EXPECT_EQ(client.commands_refused(), 1u);
+}
+
+TEST(ThinClient, RadioCostsChargedToNode) {
+  auto node = make_node();
+  mw::ThinClient client(node);
+  const double before = node.battery().remaining_j();
+  client.handle(mw::make_measure_command(sn::SensorKind::kTemperature, 0),
+                0.0);
+  EXPECT_LT(node.battery().remaining_j(), before);
+  EXPECT_GT(node.meter().of(ss::EnergyCategory::kRx), 0.0);
+  EXPECT_GT(node.meter().of(ss::EnergyCategory::kTx), 0.0);
+  EXPECT_GT(node.meter().of(ss::EnergyCategory::kSensing), 0.0);
+}

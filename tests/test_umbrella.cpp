@@ -1,0 +1,18 @@
+// Compile-level test: the umbrella header pulls in the whole public API
+// coherently (no ODR/namespace collisions), and a cross-layer smoke
+// pipeline works through it alone.
+#include "sensedroid.h"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, FullStackSmoke) {
+  using namespace sensedroid;
+  linalg::Rng rng(1);
+  const auto truth = field::random_plume_field(8, 8, 2, rng, 21.0);
+  hierarchy::NanoCloudConfig cfg;
+  cfg.coverage = 1.0;
+  hierarchy::NanoCloud cloud(truth, cfg, rng);
+  const auto res = cloud.gather(24, rng);
+  EXPECT_LT(res.nrmse, 0.2);
+  EXPECT_GT(res.m_used, 0u);
+}
