@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_basis_ablation.dir/exp_basis_ablation.cpp.o"
+  "CMakeFiles/exp_basis_ablation.dir/exp_basis_ablation.cpp.o.d"
+  "exp_basis_ablation"
+  "exp_basis_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_basis_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cs_vs_interpolation.dir/exp_cs_vs_interpolation.cpp.o"
+  "CMakeFiles/exp_cs_vs_interpolation.dir/exp_cs_vs_interpolation.cpp.o.d"
+  "exp_cs_vs_interpolation"
+  "exp_cs_vs_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cs_vs_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_cs_vs_interpolation.
+# This may be replaced when dependencies are built.

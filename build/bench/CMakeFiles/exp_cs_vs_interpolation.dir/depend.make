@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_cs_vs_interpolation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_energy_collab.dir/exp_energy_collab.cpp.o"
+  "CMakeFiles/exp_energy_collab.dir/exp_energy_collab.cpp.o.d"
+  "exp_energy_collab"
+  "exp_energy_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_energy_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_gls_vs_ols.dir/exp_gls_vs_ols.cpp.o"
+  "CMakeFiles/exp_gls_vs_ols.dir/exp_gls_vs_ols.cpp.o.d"
+  "exp_gls_vs_ols"
+  "exp_gls_vs_ols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_gls_vs_ols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_gls_vs_ols.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_incentives.dir/exp_incentives.cpp.o"
+  "CMakeFiles/exp_incentives.dir/exp_incentives.cpp.o.d"
+  "exp_incentives"
+  "exp_incentives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

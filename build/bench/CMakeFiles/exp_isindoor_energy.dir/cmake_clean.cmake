@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_isindoor_energy.dir/exp_isindoor_energy.cpp.o"
+  "CMakeFiles/exp_isindoor_energy.dir/exp_isindoor_energy.cpp.o.d"
+  "exp_isindoor_energy"
+  "exp_isindoor_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_isindoor_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_isindoor_energy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_lifetime.dir/exp_lifetime.cpp.o"
+  "CMakeFiles/exp_lifetime.dir/exp_lifetime.cpp.o.d"
+  "exp_lifetime"
+  "exp_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

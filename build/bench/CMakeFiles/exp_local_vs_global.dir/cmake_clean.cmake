@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_local_vs_global.dir/exp_local_vs_global.cpp.o"
+  "CMakeFiles/exp_local_vs_global.dir/exp_local_vs_global.cpp.o.d"
+  "exp_local_vs_global"
+  "exp_local_vs_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_local_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

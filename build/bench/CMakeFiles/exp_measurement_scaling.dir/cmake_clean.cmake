@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_measurement_scaling.dir/exp_measurement_scaling.cpp.o"
+  "CMakeFiles/exp_measurement_scaling.dir/exp_measurement_scaling.cpp.o.d"
+  "exp_measurement_scaling"
+  "exp_measurement_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_measurement_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

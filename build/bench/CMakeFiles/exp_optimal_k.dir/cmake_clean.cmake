@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_optimal_k.dir/exp_optimal_k.cpp.o"
+  "CMakeFiles/exp_optimal_k.dir/exp_optimal_k.cpp.o.d"
+  "exp_optimal_k"
+  "exp_optimal_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_optimal_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

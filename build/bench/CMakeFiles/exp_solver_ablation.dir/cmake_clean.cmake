@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_solver_ablation.dir/exp_solver_ablation.cpp.o"
+  "CMakeFiles/exp_solver_ablation.dir/exp_solver_ablation.cpp.o.d"
+  "exp_solver_ablation"
+  "exp_solver_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_solver_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_transmissions.dir/exp_transmissions.cpp.o"
+  "CMakeFiles/exp_transmissions.dir/exp_transmissions.cpp.o.d"
+  "exp_transmissions"
+  "exp_transmissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_transmissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

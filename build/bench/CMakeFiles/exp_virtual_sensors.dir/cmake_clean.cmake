@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_virtual_sensors.dir/exp_virtual_sensors.cpp.o"
+  "CMakeFiles/exp_virtual_sensors.dir/exp_virtual_sensors.cpp.o.d"
+  "exp_virtual_sensors"
+  "exp_virtual_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_virtual_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

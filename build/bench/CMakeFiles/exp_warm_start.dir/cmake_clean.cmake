@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_warm_start.dir/exp_warm_start.cpp.o"
+  "CMakeFiles/exp_warm_start.dir/exp_warm_start.cpp.o.d"
+  "exp_warm_start"
+  "exp_warm_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_warm_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_zone_criticality.dir/exp_zone_criticality.cpp.o"
+  "CMakeFiles/exp_zone_criticality.dir/exp_zone_criticality.cpp.o.d"
+  "exp_zone_criticality"
+  "exp_zone_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_zone_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

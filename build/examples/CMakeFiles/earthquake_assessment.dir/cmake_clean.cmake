@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthquake_assessment.dir/earthquake_assessment.cpp.o"
+  "CMakeFiles/earthquake_assessment.dir/earthquake_assessment.cpp.o.d"
+  "earthquake_assessment"
+  "earthquake_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthquake_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fire_response.cpp" "examples/CMakeFiles/fire_response.dir/fire_response.cpp.o" "gcc" "examples/CMakeFiles/fire_response.dir/fire_response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hierarchy/CMakeFiles/sensedroid_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/sensedroid_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/sensedroid_mw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/sensedroid_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/sensedroid_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/sensedroid_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensedroid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sensedroid_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

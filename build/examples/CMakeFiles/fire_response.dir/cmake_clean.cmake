@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fire_response.dir/fire_response.cpp.o"
+  "CMakeFiles/fire_response.dir/fire_response.cpp.o.d"
+  "fire_response"
+  "fire_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fire_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_group.dir/health_group.cpp.o"
+  "CMakeFiles/health_group.dir/health_group.cpp.o.d"
+  "health_group"
+  "health_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

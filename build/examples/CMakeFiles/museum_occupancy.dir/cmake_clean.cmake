@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/museum_occupancy.dir/museum_occupancy.cpp.o"
+  "CMakeFiles/museum_occupancy.dir/museum_occupancy.cpp.o.d"
+  "museum_occupancy"
+  "museum_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/museum_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

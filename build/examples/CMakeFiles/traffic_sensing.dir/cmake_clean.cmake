@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_sensing.dir/traffic_sensing.cpp.o"
+  "CMakeFiles/traffic_sensing.dir/traffic_sensing.cpp.o.d"
+  "traffic_sensing"
+  "traffic_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("linalg")
+subdirs("cs")
+subdirs("field")
+subdirs("sim")
+subdirs("sensing")
+subdirs("context")
+subdirs("middleware")
+subdirs("hierarchy")
+subdirs("baselines")
+subdirs("incentives")
+subdirs("scheduling")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_baseline.dir/cdg_luo.cpp.o"
+  "CMakeFiles/sensedroid_baseline.dir/cdg_luo.cpp.o.d"
+  "CMakeFiles/sensedroid_baseline.dir/dense_gathering.cpp.o"
+  "CMakeFiles/sensedroid_baseline.dir/dense_gathering.cpp.o.d"
+  "CMakeFiles/sensedroid_baseline.dir/interpolation.cpp.o"
+  "CMakeFiles/sensedroid_baseline.dir/interpolation.cpp.o.d"
+  "CMakeFiles/sensedroid_baseline.dir/solo_sensing.cpp.o"
+  "CMakeFiles/sensedroid_baseline.dir/solo_sensing.cpp.o.d"
+  "libsensedroid_baseline.a"
+  "libsensedroid_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/context/activity.cpp" "src/context/CMakeFiles/sensedroid_context.dir/activity.cpp.o" "gcc" "src/context/CMakeFiles/sensedroid_context.dir/activity.cpp.o.d"
+  "/root/repo/src/context/context_engine.cpp" "src/context/CMakeFiles/sensedroid_context.dir/context_engine.cpp.o" "gcc" "src/context/CMakeFiles/sensedroid_context.dir/context_engine.cpp.o.d"
+  "/root/repo/src/context/group_context.cpp" "src/context/CMakeFiles/sensedroid_context.dir/group_context.cpp.o" "gcc" "src/context/CMakeFiles/sensedroid_context.dir/group_context.cpp.o.d"
+  "/root/repo/src/context/is_driving.cpp" "src/context/CMakeFiles/sensedroid_context.dir/is_driving.cpp.o" "gcc" "src/context/CMakeFiles/sensedroid_context.dir/is_driving.cpp.o.d"
+  "/root/repo/src/context/is_indoor.cpp" "src/context/CMakeFiles/sensedroid_context.dir/is_indoor.cpp.o" "gcc" "src/context/CMakeFiles/sensedroid_context.dir/is_indoor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sensedroid_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/sensedroid_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/sensedroid_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensedroid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

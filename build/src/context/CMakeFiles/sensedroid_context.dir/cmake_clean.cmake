@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_context.dir/activity.cpp.o"
+  "CMakeFiles/sensedroid_context.dir/activity.cpp.o.d"
+  "CMakeFiles/sensedroid_context.dir/context_engine.cpp.o"
+  "CMakeFiles/sensedroid_context.dir/context_engine.cpp.o.d"
+  "CMakeFiles/sensedroid_context.dir/group_context.cpp.o"
+  "CMakeFiles/sensedroid_context.dir/group_context.cpp.o.d"
+  "CMakeFiles/sensedroid_context.dir/is_driving.cpp.o"
+  "CMakeFiles/sensedroid_context.dir/is_driving.cpp.o.d"
+  "CMakeFiles/sensedroid_context.dir/is_indoor.cpp.o"
+  "CMakeFiles/sensedroid_context.dir/is_indoor.cpp.o.d"
+  "libsensedroid_context.a"
+  "libsensedroid_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

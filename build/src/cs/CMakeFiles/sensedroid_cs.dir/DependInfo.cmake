@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cs/basis_pursuit.cpp" "src/cs/CMakeFiles/sensedroid_cs.dir/basis_pursuit.cpp.o" "gcc" "src/cs/CMakeFiles/sensedroid_cs.dir/basis_pursuit.cpp.o.d"
+  "/root/repo/src/cs/chs.cpp" "src/cs/CMakeFiles/sensedroid_cs.dir/chs.cpp.o" "gcc" "src/cs/CMakeFiles/sensedroid_cs.dir/chs.cpp.o.d"
+  "/root/repo/src/cs/error_model.cpp" "src/cs/CMakeFiles/sensedroid_cs.dir/error_model.cpp.o" "gcc" "src/cs/CMakeFiles/sensedroid_cs.dir/error_model.cpp.o.d"
+  "/root/repo/src/cs/greedy_variants.cpp" "src/cs/CMakeFiles/sensedroid_cs.dir/greedy_variants.cpp.o" "gcc" "src/cs/CMakeFiles/sensedroid_cs.dir/greedy_variants.cpp.o.d"
+  "/root/repo/src/cs/least_squares.cpp" "src/cs/CMakeFiles/sensedroid_cs.dir/least_squares.cpp.o" "gcc" "src/cs/CMakeFiles/sensedroid_cs.dir/least_squares.cpp.o.d"
+  "/root/repo/src/cs/measurement.cpp" "src/cs/CMakeFiles/sensedroid_cs.dir/measurement.cpp.o" "gcc" "src/cs/CMakeFiles/sensedroid_cs.dir/measurement.cpp.o.d"
+  "/root/repo/src/cs/omp.cpp" "src/cs/CMakeFiles/sensedroid_cs.dir/omp.cpp.o" "gcc" "src/cs/CMakeFiles/sensedroid_cs.dir/omp.cpp.o.d"
+  "/root/repo/src/cs/simplex.cpp" "src/cs/CMakeFiles/sensedroid_cs.dir/simplex.cpp.o" "gcc" "src/cs/CMakeFiles/sensedroid_cs.dir/simplex.cpp.o.d"
+  "/root/repo/src/cs/spatiotemporal.cpp" "src/cs/CMakeFiles/sensedroid_cs.dir/spatiotemporal.cpp.o" "gcc" "src/cs/CMakeFiles/sensedroid_cs.dir/spatiotemporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sensedroid_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

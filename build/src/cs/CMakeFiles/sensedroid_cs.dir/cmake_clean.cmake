@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_cs.dir/basis_pursuit.cpp.o"
+  "CMakeFiles/sensedroid_cs.dir/basis_pursuit.cpp.o.d"
+  "CMakeFiles/sensedroid_cs.dir/chs.cpp.o"
+  "CMakeFiles/sensedroid_cs.dir/chs.cpp.o.d"
+  "CMakeFiles/sensedroid_cs.dir/error_model.cpp.o"
+  "CMakeFiles/sensedroid_cs.dir/error_model.cpp.o.d"
+  "CMakeFiles/sensedroid_cs.dir/greedy_variants.cpp.o"
+  "CMakeFiles/sensedroid_cs.dir/greedy_variants.cpp.o.d"
+  "CMakeFiles/sensedroid_cs.dir/least_squares.cpp.o"
+  "CMakeFiles/sensedroid_cs.dir/least_squares.cpp.o.d"
+  "CMakeFiles/sensedroid_cs.dir/measurement.cpp.o"
+  "CMakeFiles/sensedroid_cs.dir/measurement.cpp.o.d"
+  "CMakeFiles/sensedroid_cs.dir/omp.cpp.o"
+  "CMakeFiles/sensedroid_cs.dir/omp.cpp.o.d"
+  "CMakeFiles/sensedroid_cs.dir/simplex.cpp.o"
+  "CMakeFiles/sensedroid_cs.dir/simplex.cpp.o.d"
+  "CMakeFiles/sensedroid_cs.dir/spatiotemporal.cpp.o"
+  "CMakeFiles/sensedroid_cs.dir/spatiotemporal.cpp.o.d"
+  "libsensedroid_cs.a"
+  "libsensedroid_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/generators.cpp" "src/field/CMakeFiles/sensedroid_field.dir/generators.cpp.o" "gcc" "src/field/CMakeFiles/sensedroid_field.dir/generators.cpp.o.d"
+  "/root/repo/src/field/sparsity.cpp" "src/field/CMakeFiles/sensedroid_field.dir/sparsity.cpp.o" "gcc" "src/field/CMakeFiles/sensedroid_field.dir/sparsity.cpp.o.d"
+  "/root/repo/src/field/spatial_field.cpp" "src/field/CMakeFiles/sensedroid_field.dir/spatial_field.cpp.o" "gcc" "src/field/CMakeFiles/sensedroid_field.dir/spatial_field.cpp.o.d"
+  "/root/repo/src/field/traces.cpp" "src/field/CMakeFiles/sensedroid_field.dir/traces.cpp.o" "gcc" "src/field/CMakeFiles/sensedroid_field.dir/traces.cpp.o.d"
+  "/root/repo/src/field/zones.cpp" "src/field/CMakeFiles/sensedroid_field.dir/zones.cpp.o" "gcc" "src/field/CMakeFiles/sensedroid_field.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sensedroid_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_field.dir/generators.cpp.o"
+  "CMakeFiles/sensedroid_field.dir/generators.cpp.o.d"
+  "CMakeFiles/sensedroid_field.dir/sparsity.cpp.o"
+  "CMakeFiles/sensedroid_field.dir/sparsity.cpp.o.d"
+  "CMakeFiles/sensedroid_field.dir/spatial_field.cpp.o"
+  "CMakeFiles/sensedroid_field.dir/spatial_field.cpp.o.d"
+  "CMakeFiles/sensedroid_field.dir/traces.cpp.o"
+  "CMakeFiles/sensedroid_field.dir/traces.cpp.o.d"
+  "CMakeFiles/sensedroid_field.dir/zones.cpp.o"
+  "CMakeFiles/sensedroid_field.dir/zones.cpp.o.d"
+  "libsensedroid_field.a"
+  "libsensedroid_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsensedroid_field.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/adaptive.cpp" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/adaptive.cpp.o" "gcc" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/adaptive.cpp.o.d"
+  "/root/repo/src/hierarchy/campaign.cpp" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/campaign.cpp.o" "gcc" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/campaign.cpp.o.d"
+  "/root/repo/src/hierarchy/localcloud.cpp" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/localcloud.cpp.o" "gcc" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/localcloud.cpp.o.d"
+  "/root/repo/src/hierarchy/nanocloud.cpp" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/nanocloud.cpp.o" "gcc" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/nanocloud.cpp.o.d"
+  "/root/repo/src/hierarchy/publiccloud.cpp" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/publiccloud.cpp.o" "gcc" "src/hierarchy/CMakeFiles/sensedroid_hier.dir/publiccloud.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sensedroid_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/sensedroid_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/sensedroid_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensedroid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/sensedroid_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/sensedroid_mw.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/sensedroid_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

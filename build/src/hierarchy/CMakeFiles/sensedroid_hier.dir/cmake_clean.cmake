@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_hier.dir/adaptive.cpp.o"
+  "CMakeFiles/sensedroid_hier.dir/adaptive.cpp.o.d"
+  "CMakeFiles/sensedroid_hier.dir/campaign.cpp.o"
+  "CMakeFiles/sensedroid_hier.dir/campaign.cpp.o.d"
+  "CMakeFiles/sensedroid_hier.dir/localcloud.cpp.o"
+  "CMakeFiles/sensedroid_hier.dir/localcloud.cpp.o.d"
+  "CMakeFiles/sensedroid_hier.dir/nanocloud.cpp.o"
+  "CMakeFiles/sensedroid_hier.dir/nanocloud.cpp.o.d"
+  "CMakeFiles/sensedroid_hier.dir/publiccloud.cpp.o"
+  "CMakeFiles/sensedroid_hier.dir/publiccloud.cpp.o.d"
+  "libsensedroid_hier.a"
+  "libsensedroid_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sensedroid_hier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_incentives.dir/auction.cpp.o"
+  "CMakeFiles/sensedroid_incentives.dir/auction.cpp.o.d"
+  "CMakeFiles/sensedroid_incentives.dir/participant.cpp.o"
+  "CMakeFiles/sensedroid_incentives.dir/participant.cpp.o.d"
+  "CMakeFiles/sensedroid_incentives.dir/recruitment.cpp.o"
+  "CMakeFiles/sensedroid_incentives.dir/recruitment.cpp.o.d"
+  "libsensedroid_incentives.a"
+  "libsensedroid_incentives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

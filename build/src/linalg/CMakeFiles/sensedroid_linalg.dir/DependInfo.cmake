@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/basis.cpp" "src/linalg/CMakeFiles/sensedroid_linalg.dir/basis.cpp.o" "gcc" "src/linalg/CMakeFiles/sensedroid_linalg.dir/basis.cpp.o.d"
+  "/root/repo/src/linalg/decomposition.cpp" "src/linalg/CMakeFiles/sensedroid_linalg.dir/decomposition.cpp.o" "gcc" "src/linalg/CMakeFiles/sensedroid_linalg.dir/decomposition.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/sensedroid_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/sensedroid_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/random.cpp" "src/linalg/CMakeFiles/sensedroid_linalg.dir/random.cpp.o" "gcc" "src/linalg/CMakeFiles/sensedroid_linalg.dir/random.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/sensedroid_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/sensedroid_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

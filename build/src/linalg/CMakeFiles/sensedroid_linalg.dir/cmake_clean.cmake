@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_linalg.dir/basis.cpp.o"
+  "CMakeFiles/sensedroid_linalg.dir/basis.cpp.o.d"
+  "CMakeFiles/sensedroid_linalg.dir/decomposition.cpp.o"
+  "CMakeFiles/sensedroid_linalg.dir/decomposition.cpp.o.d"
+  "CMakeFiles/sensedroid_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/sensedroid_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/sensedroid_linalg.dir/random.cpp.o"
+  "CMakeFiles/sensedroid_linalg.dir/random.cpp.o.d"
+  "CMakeFiles/sensedroid_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/sensedroid_linalg.dir/vector_ops.cpp.o.d"
+  "libsensedroid_linalg.a"
+  "libsensedroid_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/broker.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/broker.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/broker.cpp.o.d"
+  "/root/repo/src/middleware/collaboration.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/collaboration.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/collaboration.cpp.o.d"
+  "/root/repo/src/middleware/datastore.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/datastore.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/datastore.cpp.o.d"
+  "/root/repo/src/middleware/discovery.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/discovery.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/discovery.cpp.o.d"
+  "/root/repo/src/middleware/node.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/node.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/node.cpp.o.d"
+  "/root/repo/src/middleware/privacy.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/privacy.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/privacy.cpp.o.d"
+  "/root/repo/src/middleware/pubsub.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/pubsub.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/pubsub.cpp.o.d"
+  "/root/repo/src/middleware/query.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/query.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/query.cpp.o.d"
+  "/root/repo/src/middleware/reputation.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/reputation.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/reputation.cpp.o.d"
+  "/root/repo/src/middleware/thin_client.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/thin_client.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/thin_client.cpp.o.d"
+  "/root/repo/src/middleware/wire.cpp" "src/middleware/CMakeFiles/sensedroid_mw.dir/wire.cpp.o" "gcc" "src/middleware/CMakeFiles/sensedroid_mw.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sensedroid_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/sensedroid_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensedroid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/sensedroid_sensing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_mw.dir/broker.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/broker.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/collaboration.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/collaboration.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/datastore.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/datastore.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/discovery.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/discovery.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/node.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/node.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/privacy.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/privacy.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/pubsub.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/pubsub.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/query.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/query.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/reputation.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/reputation.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/thin_client.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/thin_client.cpp.o.d"
+  "CMakeFiles/sensedroid_mw.dir/wire.cpp.o"
+  "CMakeFiles/sensedroid_mw.dir/wire.cpp.o.d"
+  "libsensedroid_mw.a"
+  "libsensedroid_mw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_mw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

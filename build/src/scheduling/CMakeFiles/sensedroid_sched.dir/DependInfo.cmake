@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduling/adaptive_sampling.cpp" "src/scheduling/CMakeFiles/sensedroid_sched.dir/adaptive_sampling.cpp.o" "gcc" "src/scheduling/CMakeFiles/sensedroid_sched.dir/adaptive_sampling.cpp.o.d"
+  "/root/repo/src/scheduling/multi_radio.cpp" "src/scheduling/CMakeFiles/sensedroid_sched.dir/multi_radio.cpp.o" "gcc" "src/scheduling/CMakeFiles/sensedroid_sched.dir/multi_radio.cpp.o.d"
+  "/root/repo/src/scheduling/node_selection.cpp" "src/scheduling/CMakeFiles/sensedroid_sched.dir/node_selection.cpp.o" "gcc" "src/scheduling/CMakeFiles/sensedroid_sched.dir/node_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sensedroid_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensedroid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_sched.dir/adaptive_sampling.cpp.o"
+  "CMakeFiles/sensedroid_sched.dir/adaptive_sampling.cpp.o.d"
+  "CMakeFiles/sensedroid_sched.dir/multi_radio.cpp.o"
+  "CMakeFiles/sensedroid_sched.dir/multi_radio.cpp.o.d"
+  "CMakeFiles/sensedroid_sched.dir/node_selection.cpp.o"
+  "CMakeFiles/sensedroid_sched.dir/node_selection.cpp.o.d"
+  "libsensedroid_sched.a"
+  "libsensedroid_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/fusion.cpp" "src/sensing/CMakeFiles/sensedroid_sensing.dir/fusion.cpp.o" "gcc" "src/sensing/CMakeFiles/sensedroid_sensing.dir/fusion.cpp.o.d"
+  "/root/repo/src/sensing/probe.cpp" "src/sensing/CMakeFiles/sensedroid_sensing.dir/probe.cpp.o" "gcc" "src/sensing/CMakeFiles/sensedroid_sensing.dir/probe.cpp.o.d"
+  "/root/repo/src/sensing/sensor.cpp" "src/sensing/CMakeFiles/sensedroid_sensing.dir/sensor.cpp.o" "gcc" "src/sensing/CMakeFiles/sensedroid_sensing.dir/sensor.cpp.o.d"
+  "/root/repo/src/sensing/signals.cpp" "src/sensing/CMakeFiles/sensedroid_sensing.dir/signals.cpp.o" "gcc" "src/sensing/CMakeFiles/sensedroid_sensing.dir/signals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sensedroid_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/sensedroid_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensedroid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

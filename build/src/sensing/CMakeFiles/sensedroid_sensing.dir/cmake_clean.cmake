@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_sensing.dir/fusion.cpp.o"
+  "CMakeFiles/sensedroid_sensing.dir/fusion.cpp.o.d"
+  "CMakeFiles/sensedroid_sensing.dir/probe.cpp.o"
+  "CMakeFiles/sensedroid_sensing.dir/probe.cpp.o.d"
+  "CMakeFiles/sensedroid_sensing.dir/sensor.cpp.o"
+  "CMakeFiles/sensedroid_sensing.dir/sensor.cpp.o.d"
+  "CMakeFiles/sensedroid_sensing.dir/signals.cpp.o"
+  "CMakeFiles/sensedroid_sensing.dir/signals.cpp.o.d"
+  "libsensedroid_sensing.a"
+  "libsensedroid_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensedroid_sim.dir/energy.cpp.o"
+  "CMakeFiles/sensedroid_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/sensedroid_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/sensedroid_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/sensedroid_sim.dir/mobility.cpp.o"
+  "CMakeFiles/sensedroid_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/sensedroid_sim.dir/radio.cpp.o"
+  "CMakeFiles/sensedroid_sim.dir/radio.cpp.o.d"
+  "libsensedroid_sim.a"
+  "libsensedroid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensedroid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basis2d.dir/test_basis2d.cpp.o"
+  "CMakeFiles/test_basis2d.dir/test_basis2d.cpp.o.d"
+  "test_basis2d"
+  "test_basis2d.pdb"
+  "test_basis2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basis2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collaboration_wire.dir/test_collaboration_wire.cpp.o"
+  "CMakeFiles/test_collaboration_wire.dir/test_collaboration_wire.cpp.o.d"
+  "test_collaboration_wire"
+  "test_collaboration_wire.pdb"
+  "test_collaboration_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collaboration_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cs_chs.dir/test_cs_chs.cpp.o"
+  "CMakeFiles/test_cs_chs.dir/test_cs_chs.cpp.o.d"
+  "test_cs_chs"
+  "test_cs_chs.pdb"
+  "test_cs_chs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cs_chs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

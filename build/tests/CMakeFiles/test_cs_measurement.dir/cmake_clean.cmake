@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cs_measurement.dir/test_cs_measurement.cpp.o"
+  "CMakeFiles/test_cs_measurement.dir/test_cs_measurement.cpp.o.d"
+  "test_cs_measurement"
+  "test_cs_measurement.pdb"
+  "test_cs_measurement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cs_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

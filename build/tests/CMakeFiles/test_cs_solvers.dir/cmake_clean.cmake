@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cs_solvers.dir/test_cs_solvers.cpp.o"
+  "CMakeFiles/test_cs_solvers.dir/test_cs_solvers.cpp.o.d"
+  "test_cs_solvers"
+  "test_cs_solvers.pdb"
+  "test_cs_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cs_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_greedy_variants.cpp" "tests/CMakeFiles/test_greedy_variants.dir/test_greedy_variants.cpp.o" "gcc" "tests/CMakeFiles/test_greedy_variants.dir/test_greedy_variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cs/CMakeFiles/sensedroid_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sensedroid_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/sensedroid_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/sensedroid_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensedroid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sensedroid_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

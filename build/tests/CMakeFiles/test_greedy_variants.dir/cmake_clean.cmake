@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_variants.dir/test_greedy_variants.cpp.o"
+  "CMakeFiles/test_greedy_variants.dir/test_greedy_variants.cpp.o.d"
+  "test_greedy_variants"
+  "test_greedy_variants.pdb"
+  "test_greedy_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_basis.dir/test_linalg_basis.cpp.o"
+  "CMakeFiles/test_linalg_basis.dir/test_linalg_basis.cpp.o.d"
+  "test_linalg_basis"
+  "test_linalg_basis.pdb"
+  "test_linalg_basis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduling.dir/test_scheduling.cpp.o"
+  "CMakeFiles/test_scheduling.dir/test_scheduling.cpp.o.d"
+  "test_scheduling"
+  "test_scheduling.pdb"
+  "test_scheduling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatiotemporal.dir/test_spatiotemporal.cpp.o"
+  "CMakeFiles/test_spatiotemporal.dir/test_spatiotemporal.cpp.o.d"
+  "test_spatiotemporal"
+  "test_spatiotemporal.pdb"
+  "test_spatiotemporal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatiotemporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_telemetry.dir/test_wire_telemetry.cpp.o"
+  "CMakeFiles/test_wire_telemetry.dir/test_wire_telemetry.cpp.o.d"
+  "test_wire_telemetry"
+  "test_wire_telemetry.pdb"
+  "test_wire_telemetry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_linalg_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg_decomposition[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg_basis[1]_include.cmake")
+include("/root/repo/build/tests/test_cs_measurement[1]_include.cmake")
+include("/root/repo/build/tests/test_cs_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_cs_chs[1]_include.cmake")
+include("/root/repo/build/tests/test_field[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sensing[1]_include.cmake")
+include("/root/repo/build/tests/test_middleware[1]_include.cmake")
+include("/root/repo/build/tests/test_context[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_incentives[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduling[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_spatiotemporal[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_collaboration_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_campaign[1]_include.cmake")
+include("/root/repo/build/tests/test_basis2d[1]_include.cmake")
+include("/root/repo/build/tests/test_thin_client[1]_include.cmake")
+include("/root/repo/build/tests/test_umbrella[1]_include.cmake")
+include("/root/repo/build/tests/test_greedy_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_wire_telemetry[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_reputation[1]_include.cmake")
