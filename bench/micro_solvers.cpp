@@ -1,6 +1,10 @@
 // E11 — google-benchmark microbenchmarks of the CS solver stack: the
 // costs a broker pays per reconstruction and a node pays per context
 // window.
+// Each run emits a RunReport (solver iteration counts, residual and
+// latency histograms) as JSON — to $SENSEDROID_REPORT when set, else
+// stdout — so BENCH_*.json trajectories capture solver-internal work,
+// not just wall time.
 #include <benchmark/benchmark.h>
 
 #include "cs/basis_pursuit.h"
@@ -11,6 +15,8 @@
 #include "linalg/basis.h"
 #include "linalg/decomposition.h"
 #include "linalg/random.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 using namespace sensedroid;
 
@@ -158,4 +164,19 @@ BENCHMARK(BM_PseudoInverse)->Arg(16)->Arg(48);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Attach the registry for the whole run: the per-call overhead (one
+  // atomic load when idle, a mutex-guarded map lookup when counting) is
+  // part of what production deployments pay, so the benches measure it.
+  obs::MetricsRegistry registry;
+  obs::attach_registry(&registry);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  auto report = obs::RunReport::from_registry(registry, "micro_solvers");
+  obs::attach_registry(nullptr);
+  return obs::write_report(report) ? 0 : 1;
+}

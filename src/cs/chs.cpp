@@ -7,6 +7,8 @@
 
 #include "cs/least_squares.h"
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sensedroid::cs {
 
@@ -152,6 +154,9 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
     throw std::invalid_argument("chs_reconstruct: noise model size mismatch");
   }
 
+  obs::ScopedSpan span("cs.chs.reconstruct");
+  obs::ScopedTimer timer("cs.chs.solve_us");
+
   const std::size_t k_budget = std::min(
       opts.max_support == 0 ? std::max<std::size_t>(m / 2, 1)
                             : opts.max_support,
@@ -285,12 +290,23 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
       break;
     }
     prev_res_norm = res_norm;
+    // Residual trajectory: one observation per accepted batch, relative
+    // to ||x_S|| so campaigns of different scale share one histogram.
+    obs::observe("cs.chs.residual_trajectory", res_norm / xs_norm);
   }
 
   for (std::size_t i = 0; i < res.support.size(); ++i) {
     res.coefficients[res.support[i]] = coef_on_support[i];
   }
   res.residual_norm = norm2(residual);
+  if (obs::attached()) {
+    obs::add_counter("cs.chs.solves");
+    obs::add_counter("cs.chs.iterations",
+                     static_cast<double>(res.iterations));
+    obs::observe("cs.chs.residual_rel", res.residual_norm / xs_norm);
+    obs::observe("cs.chs.support_size",
+                 static_cast<double>(res.support.size()));
+  }
 
   // Step 4: x_hat = Phi_K alpha_K.
   res.reconstruction.assign(n, 0.0);

@@ -6,6 +6,8 @@
 
 #include "cs/least_squares.h"
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sensedroid::cs {
 
@@ -24,6 +26,8 @@ SparseSolution omp_solve(const Matrix& a, std::span<const double> y,
   const std::size_t k_max =
       opts.max_sparsity == 0 ? std::min(m, n)
                              : std::min({opts.max_sparsity, m, n});
+  obs::ScopedSpan span("cs.omp.solve");
+  obs::ScopedTimer timer("cs.omp.solve_us");
 
   // Precompute column norms so correlation is scale-invariant even if a
   // caller passes a non-normalized dictionary.
@@ -98,6 +102,13 @@ SparseSolution omp_solve(const Matrix& a, std::span<const double> y,
     sol.coefficients[sol.support[i]] = coef_on_support[i];
   }
   sol.residual_norm = norm2(residual);
+  if (obs::attached()) {
+    obs::add_counter("cs.omp.solves");
+    obs::add_counter("cs.omp.iterations",
+                     static_cast<double>(sol.iterations));
+    obs::observe("cs.omp.residual_rel",
+                 sol.residual_norm / std::max(y_norm, 1e-300));
+  }
   return sol;
 }
 

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sensedroid::cs {
 
 const char* to_string(LpStatus status) {
@@ -112,6 +115,9 @@ LpSolution simplex_solve(const LpProblem& problem,
     throw std::invalid_argument("simplex_solve: c size mismatch");
   }
 
+  obs::ScopedSpan span("cs.simplex.solve");
+  obs::ScopedTimer timer("cs.simplex.solve_us");
+
   const double tol = opts.tol;
   const std::size_t max_iters =
       opts.max_iterations != 0 ? opts.max_iterations
@@ -131,6 +137,18 @@ LpSolution simplex_solve(const LpProblem& problem,
   }
 
   LpSolution sol;
+  // Records on every exit path (optimal, infeasible, iteration limit).
+  struct Recorder {
+    const LpSolution& s;
+    ~Recorder() {
+      if (!obs::attached()) return;
+      obs::add_counter("cs.simplex.solves");
+      obs::add_counter("cs.simplex.pivots",
+                       static_cast<double>(s.iterations));
+      obs::add_counter("cs.simplex.outcome", {{"status", to_string(s.status)}},
+                       1.0);
+    }
+  } recorder{sol};
 
   // ---- Phase 1: minimize sum of artificials. ----
   // Cost row = -(sum of constraint rows) expresses the phase-1 reduced

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sensedroid::hierarchy {
 
 LocalCloud::LocalCloud(const field::SpatialField& truth,
@@ -39,6 +42,7 @@ RegionalResult LocalCloud::gather(const std::vector<ZoneDecision>& decisions,
     budget[d.zone_id] = d.measurements;
   }
 
+  obs::ScopedSpan span("hier.localcloud.gather");
   RegionalResult out;
   out.reconstruction =
       field::SpatialField(grid_.field_width(), grid_.field_height());
@@ -59,6 +63,14 @@ RegionalResult LocalCloud::gather(const std::vector<ZoneDecision>& decisions,
         uplink_.tx_energy_j(bytes) + uplink_.rx_energy_j(bytes);
   }
   out.nrmse = field::field_nrmse(out.reconstruction, *truth_);
+  if (obs::attached()) {
+    obs::add_counter("hier.localcloud.rounds");
+    obs::add_counter("hier.localcloud.zones_gathered",
+                     static_cast<double>(clouds_.size()));
+    obs::add_counter("hier.localcloud.uplink_bytes",
+                     static_cast<double>(out.uplink_bytes));
+    obs::observe("hier.localcloud.nrmse", out.nrmse);
+  }
   return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "cs/measurement.h"
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sensedroid::hierarchy {
 
@@ -99,6 +101,7 @@ GatherResult NanoCloud::gather_dense(Rng& rng) {
 
 GatherResult NanoCloud::reconstruct_from(
     const std::vector<std::size_t>& cells, Rng& rng, bool compressive) {
+  obs::ScopedSpan span("hier.nanocloud.gather");
   GatherResult out;
   out.m_requested = cells.size();
 
@@ -113,6 +116,13 @@ GatherResult NanoCloud::reconstruct_from(
                                         /*sample_index=*/0, rng, &out.stats);
   out.node_energy_j = total_node_energy_j() - node_energy_before;
   out.m_used = readings.size();
+  if (obs::attached()) {
+    obs::add_counter("hier.nanocloud.rounds");
+    obs::add_counter("hier.nanocloud.nodes_commanded",
+                     static_cast<double>(cells.size()));
+    obs::add_counter("hier.nanocloud.replies",
+                     static_cast<double>(out.m_used));
+  }
 
   // Build the measurement from the cells whose readings survived.
   // Readings come back in command order; map node -> cell.
@@ -170,6 +180,7 @@ GatherResult NanoCloud::reconstruct_from(
       field::SpatialField::from_vector(truth_->width(), truth_->height(),
                                        full);
   out.nrmse = field::field_nrmse(out.reconstruction, *truth_);
+  obs::observe("hier.nanocloud.nrmse", out.nrmse);
   return out;
 }
 

@@ -1,5 +1,8 @@
 #include "middleware/broker.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sensedroid::middleware {
 
 GatherStats& GatherStats::operator+=(const GatherStats& rhs) noexcept {
@@ -27,6 +30,7 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
                                      std::size_t sample_index,
                                      linalg::Rng& rng, GatherStats* stats,
                                      double timestamp) {
+  obs::ScopedSpan span("mw.broker.collect");
   GatherStats local;
   std::vector<Reading> readings;
   readings.reserve(nodes.size());
@@ -74,6 +78,23 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
   }
 
   if (stats != nullptr) *stats += local;
+  if (obs::attached()) {
+    obs::add_counter("mw.broker.collect_rounds");
+    obs::add_counter("mw.broker.commands_sent",
+                     static_cast<double>(local.commands_sent));
+    obs::add_counter("mw.broker.replies_received",
+                     static_cast<double>(local.replies_received));
+    obs::add_counter("mw.broker.radio_failures",
+                     static_cast<double>(local.radio_failures));
+    obs::add_counter("mw.broker.node_refusals",
+                     static_cast<double>(local.node_refusals));
+    obs::add_counter("mw.broker.bytes",
+                     static_cast<double>(local.bytes_transferred));
+    // Store depth doubles as the broker's ingest-queue gauge: every
+    // reading lands there before dissemination drains downstream.
+    obs::set_gauge("mw.broker.queue_depth",
+                   static_cast<double>(store_.size()));
+  }
   return readings;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace sensedroid::middleware {
 
 std::size_t wire_size(const Message& msg) noexcept {
@@ -53,10 +55,19 @@ std::size_t PubSubBus::publish(const Message& msg) {
                  : msg.topic == s.key;
     if (match) to_run.push_back(s.handler);
   }
+  if (obs::attached()) {
+    obs::add_counter("mw.pubsub.published");
+    obs::add_counter("mw.pubsub.bytes",
+                     static_cast<double>(wire_size(msg)));
+    obs::observe("mw.pubsub.fanout", static_cast<double>(to_run.size()));
+    obs::set_gauge("mw.pubsub.subscriptions",
+                   static_cast<double>(subs_.size()));
+  }
   for (const auto& h : to_run) {
     h(msg);
     ++delivered;
   }
+  obs::add_counter("mw.pubsub.delivered", static_cast<double>(delivered));
   return delivered;
 }
 

@@ -1,0 +1,462 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace sensedroid::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Canonical series key: name{k="v",...} with labels sorted by key.
+std::string series_key(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return std::string(name);
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    key += sorted[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no Infinity/NaN literals; clamp exporter output to numbers.
+std::string json_number(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string prom_name(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += prom_name(labels[i].first);
+    out += "=\"";
+    out += json_escape(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Histogram
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> b;
+  b.reserve(57);
+  for (int decade = -9; decade <= 9; ++decade) {
+    const double base = std::pow(10.0, decade);
+    b.push_back(base);
+    b.push_back(2.5 * base);
+    b.push_back(5.0 * base);
+  }
+  return b;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), min_(kInf), max_(-kInf) {
+  if (bounds_.empty()) bounds_ = default_bounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const noexcept {
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+    const std::uint64_t in_bucket =
+        buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      // Linear interpolation inside the crossing bucket.
+      const double lo =
+          b == 0 ? std::min(min(), bounds_.front()) : bounds_[b - 1];
+      const double hi = b < bounds_.size() ? bounds_[b] : max();
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      const double est = lo + frac * (hi - lo);
+      return std::clamp(est, min(), max());
+    }
+    cum += in_bucket;
+  }
+  return max();
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  const Labels& labels) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(key, Series<Counter>{std::string(name), labels,
+                                           std::make_unique<Counter>()})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(key, Series<Gauge>{std::string(name), labels,
+                                         std::make_unique<Gauge>()})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const Labels& labels,
+                                      std::vector<double> bounds) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    auto metric = bounds.empty()
+                      ? std::make_unique<Histogram>()
+                      : std::make_unique<Histogram>(std::move(bounds));
+    it = histograms_
+             .emplace(key, Series<Histogram>{std::string(name), labels,
+                                             std::move(metric)})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+double MetricsRegistry::counter_sum(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  double total = 0.0;
+  for (const auto& [key, s] : counters_) {
+    if (s.name == name) total += s.metric->value();
+  }
+  return total;
+}
+
+double MetricsRegistry::counter_value(std::string_view name,
+                                      const Labels& labels) const {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find(key);
+  return it == counters_.end() ? 0.0 : it->second.metric->value();
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [key, s] : gauges_) {
+    if (s.name == name) return s.metric->value();
+  }
+  return 0.0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [key, s] : histograms_) {
+    if (s.name == name) return s.metric.get();
+  }
+  return nullptr;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::samples() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, s] : counters_) {
+    Sample smp;
+    smp.name = s.name;
+    smp.labels = s.labels;
+    smp.kind = 'c';
+    smp.value = s.metric->value();
+    out.push_back(std::move(smp));
+  }
+  for (const auto& [key, s] : gauges_) {
+    Sample smp;
+    smp.name = s.name;
+    smp.labels = s.labels;
+    smp.kind = 'g';
+    smp.value = s.metric->value();
+    out.push_back(std::move(smp));
+  }
+  for (const auto& [key, s] : histograms_) {
+    Sample smp;
+    smp.name = s.name;
+    smp.labels = s.labels;
+    smp.kind = 'h';
+    smp.count = s.metric->count();
+    smp.sum = s.metric->sum();
+    smp.min = smp.count ? s.metric->min() : 0.0;
+    smp.max = smp.count ? s.metric->max() : 0.0;
+    smp.p50 = s.metric->quantile(0.50);
+    smp.p95 = s.metric->quantile(0.95);
+    smp.p99 = s.metric->quantile(0.99);
+    smp.bounds = s.metric->bounds();
+    smp.buckets = s.metric->bucket_counts();
+    out.push_back(std::move(smp));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const auto all = samples();
+  std::string counters, gauges, hists;
+  for (const auto& s : all) {
+    std::string labels = "{";
+    for (std::size_t i = 0; i < s.labels.size(); ++i) {
+      if (i) labels += ',';
+      labels += '"' + json_escape(s.labels[i].first) + "\":\"" +
+                json_escape(s.labels[i].second) + '"';
+    }
+    labels += '}';
+    if (s.kind == 'c' || s.kind == 'g') {
+      std::string& dst = s.kind == 'c' ? counters : gauges;
+      if (!dst.empty()) dst += ',';
+      dst += "{\"name\":\"" + json_escape(s.name) + "\",\"labels\":" +
+             labels + ",\"value\":" + json_number(s.value) + '}';
+    } else {
+      if (!hists.empty()) hists += ',';
+      std::string buckets;
+      // Emit only non-empty buckets: default histograms have 57 bounds
+      // and dumping them all would swamp the export.
+      for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+        if (s.buckets[b] == 0) continue;
+        if (!buckets.empty()) buckets += ',';
+        const double le = b < s.bounds.size()
+                              ? s.bounds[b]
+                              : std::numeric_limits<double>::infinity();
+        buckets += "{\"le\":" + json_number(le) +
+                   ",\"count\":" + std::to_string(s.buckets[b]) + '}';
+      }
+      hists += "{\"name\":\"" + json_escape(s.name) + "\",\"labels\":" +
+               labels + ",\"count\":" + std::to_string(s.count) +
+               ",\"sum\":" + json_number(s.sum) +
+               ",\"min\":" + json_number(s.min) +
+               ",\"max\":" + json_number(s.max) +
+               ",\"p50\":" + json_number(s.p50) +
+               ",\"p95\":" + json_number(s.p95) +
+               ",\"p99\":" + json_number(s.p99) + ",\"buckets\":[" +
+               buckets + "]}";
+    }
+  }
+  return "{\"counters\":[" + counters + "],\"gauges\":[" + gauges +
+         "],\"histograms\":[" + hists + "]}";
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const auto all = samples();
+  std::string out;
+  std::string last_typed;
+  for (const auto& s : all) {
+    const std::string name = prom_name(s.name);
+    if (s.kind == 'c' || s.kind == 'g') {
+      if (name != last_typed) {
+        out += "# TYPE " + name +
+               (s.kind == 'c' ? " counter\n" : " gauge\n");
+        last_typed = name;
+      }
+      out += name + prom_labels(s.labels) + ' ' + prom_number(s.value) +
+             '\n';
+    } else {
+      if (name != last_typed) {
+        out += "# TYPE " + name + " histogram\n";
+        last_typed = name;
+      }
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+        cum += s.buckets[b];
+        if (s.buckets[b] == 0 && b + 1 != s.buckets.size()) continue;
+        Labels le = s.labels;
+        le.emplace_back(
+            "le", b < s.bounds.size() ? prom_number(s.bounds[b]) : "+Inf");
+        out += name + "_bucket" + prom_labels(le) + ' ' +
+               std::to_string(cum) + '\n';
+      }
+      out += name + "_sum" + prom_labels(s.labels) + ' ' +
+             prom_number(s.sum) + '\n';
+      out += name + "_count" + prom_labels(s.labels) + ' ' +
+             std::to_string(s.count) + '\n';
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Global attachment
+
+MetricsRegistry* registry() noexcept {
+  return g_registry.load(std::memory_order_acquire);
+}
+
+void attach_registry(MetricsRegistry* r) noexcept {
+  g_registry.store(r, std::memory_order_release);
+}
+
+bool attached() noexcept { return registry() != nullptr; }
+
+void add_counter(std::string_view name, double v) noexcept {
+  if (MetricsRegistry* r = registry()) {
+    try {
+      r->counter(name).add(v);
+    } catch (...) {
+    }
+  }
+}
+
+void add_counter(std::string_view name, const Labels& labels,
+                 double v) noexcept {
+  if (MetricsRegistry* r = registry()) {
+    try {
+      r->counter(name, labels).add(v);
+    } catch (...) {
+    }
+  }
+}
+
+void set_gauge(std::string_view name, double v) noexcept {
+  if (MetricsRegistry* r = registry()) {
+    try {
+      r->gauge(name).set(v);
+    } catch (...) {
+    }
+  }
+}
+
+void observe(std::string_view name, double v) noexcept {
+  if (MetricsRegistry* r = registry()) {
+    try {
+      r->histogram(name).observe(v);
+    } catch (...) {
+    }
+  }
+}
+
+}  // namespace sensedroid::obs

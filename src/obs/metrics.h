@@ -1,0 +1,217 @@
+// Observability core: a thread-safe metrics registry (counters, gauges,
+// fixed-bucket histograms) addressable by name + labels, with JSON and
+// Prometheus-text exporters.
+//
+// MOSDEN/GSN-style operability requirement: a crowdsensing middleware
+// must expose its own runtime behaviour (throughput, queue depths,
+// per-node load) to be tunable at scale.  Every hot layer of the stack
+// reports here through the free functions at the bottom of this header;
+// they are null-sinks (a single relaxed atomic pointer load + branch)
+// until a registry is attached, so instrumentation costs nothing in
+// un-observed runs.
+//
+// Metric naming convention (see README.md for the full table):
+//   <layer>.<component>.<measure>   e.g. cs.omp.iterations,
+//   mw.broker.published, sim.radio.tx_bytes, hier.nanocloud.rounds.
+// Unit suffixes: _j (joules), _bytes, _us (microseconds), _rel
+// (dimensionless ratio).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sensedroid::obs {
+
+/// Label set attached to a metric instance.  Kept sorted by key inside
+/// the registry so `{a=1,b=2}` and `{b=2,a=1}` address the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing value (message counts, joules, bytes).
+class Counter {
+ public:
+  /// Adds `v` (callers pass >= 0; not enforced — the registry is a
+  /// measurement instrument, not a validator).  Lock-free.
+  void add(double v) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  void inc() noexcept { add(1.0); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time value (queue depth, pending events, state of charge).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram for non-negative measures (latencies, sizes,
+/// residuals).  Buckets are cumulative-upper-bound style (Prometheus
+/// `le` semantics); quantiles are estimated by linear interpolation
+/// inside the bucket that crosses the target rank.
+class Histogram {
+ public:
+  /// Default bounds: 1/2.5/5 mantissas over decades 1e-9 .. 1e9 — wide
+  /// enough for microsecond timings, byte counts, and relative residuals
+  /// without per-metric tuning (~2x worst-case quantile error per bucket).
+  static std::vector<double> default_bounds();
+
+  explicit Histogram(std::vector<double> bounds = default_bounds());
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double min() const noexcept;  ///< +inf when empty
+  double max() const noexcept;  ///< -inf when empty
+  double mean() const noexcept {
+    const auto c = count();
+    return c == 0 ? 0.0 : sum() / static_cast<double>(c);
+  }
+
+  /// Quantile estimate for q in [0, 1]; 0 when empty.  Clamped to the
+  /// observed [min, max] so bucket interpolation never overshoots.
+  double quantile(double q) const noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Thread-safe registry of named, labelled metrics.  Lookup takes a
+/// mutex; the returned references stay valid until clear(), so hot code
+/// may cache them.  Exports to JSON and to the Prometheus text format.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  /// `bounds` is only consulted on first creation of the series.
+  Histogram& histogram(std::string_view name, const Labels& labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Sum of every counter series whose metric name equals `name`
+  /// (across all label sets); 0 when absent.
+  double counter_sum(std::string_view name) const;
+  /// Value of one counter series (exact name + labels); 0 when absent.
+  double counter_value(std::string_view name, const Labels& labels = {}) const;
+  /// Value of a gauge series (first label set registered); 0 when absent.
+  double gauge_value(std::string_view name) const;
+  /// Pointer to a histogram series by metric name (first label set
+  /// registered); nullptr when absent.
+  const Histogram* find_histogram(std::string_view name) const;
+
+  std::size_t series_count() const;
+  /// Drops every series.  Invalidates references handed out earlier.
+  void clear();
+
+  /// {"counters":[...],"gauges":[...],"histograms":[...]}.
+  std::string to_json() const;
+  /// Prometheus text exposition format ('.' becomes '_' in names).
+  std::string to_prometheus() const;
+
+  /// One exported sample, shared by both exporters and RunReport.
+  struct Sample {
+    std::string name;
+    Labels labels;
+    char kind = 'c';  // 'c' counter, 'g' gauge, 'h' histogram
+    double value = 0.0;          // counter/gauge
+    std::uint64_t count = 0;     // histogram
+    double sum = 0.0, min = 0.0, max = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+  };
+  std::vector<Sample> samples() const;
+
+ private:
+  template <class T>
+  struct Series {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+  template <class T>
+  using SeriesMap = std::map<std::string, Series<T>, std::less<>>;
+
+  mutable std::mutex mu_;
+  SeriesMap<Counter> counters_;
+  SeriesMap<Gauge> gauges_;
+  SeriesMap<Histogram> histograms_;
+};
+
+// ---------------------------------------------------------------------
+// Global attachment point.  Default: detached (all helpers no-ops).
+
+/// Currently attached registry, or nullptr.
+MetricsRegistry* registry() noexcept;
+/// Attaches `r` as the process-wide sink (nullptr detaches).  Not
+/// synchronized against in-flight helper calls on other threads beyond
+/// the atomic pointer itself — attach before the workload starts.
+void attach_registry(MetricsRegistry* r) noexcept;
+bool attached() noexcept;
+
+/// No-op when detached; swallows allocation failures (instrumentation
+/// must never take down the host).
+void add_counter(std::string_view name, double v = 1.0) noexcept;
+void add_counter(std::string_view name, const Labels& labels,
+                 double v) noexcept;
+void set_gauge(std::string_view name, double v) noexcept;
+void observe(std::string_view name, double v) noexcept;
+
+/// RAII timer: observes elapsed microseconds into histogram `name` on
+/// destruction.  Captures nothing (not even the clock) when detached at
+/// construction.  `name` must outlive the timer (pass a literal).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name) noexcept
+      : name_(name), active_(attached()) {
+    if (active_) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!active_) return;
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    observe(name_, std::chrono::duration<double, std::micro>(dt).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string_view name_;
+  bool active_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace sensedroid::obs

@@ -1,0 +1,178 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sensedroid::obs {
+
+namespace {
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+HistSummary summarize(const MetricsRegistry& reg, std::string_view name) {
+  HistSummary out;
+  if (const Histogram* h = reg.find_histogram(name)) {
+    out.count = h->count();
+    out.mean = h->mean();
+    out.p50 = h->quantile(0.50);
+    out.p95 = h->quantile(0.95);
+    out.p99 = h->quantile(0.99);
+    out.max = out.count ? h->max() : 0.0;
+  }
+  return out;
+}
+
+std::string hist_json(const HistSummary& h) {
+  return "{\"count\":" + std::to_string(h.count) + ",\"mean\":" +
+         num(h.mean) + ",\"p50\":" + num(h.p50) + ",\"p95\":" + num(h.p95) +
+         ",\"p99\":" + num(h.p99) + ",\"max\":" + num(h.max) + '}';
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunReport RunReport::from_registry(const MetricsRegistry& reg,
+                                   std::string campaign) {
+  RunReport r;
+  r.campaign = std::move(campaign);
+
+  r.energy_total_j = reg.counter_sum("sim.energy.joules");
+  r.energy_tx_j = reg.counter_value("sim.energy.joules", {{"category", "tx"}});
+  r.energy_rx_j = reg.counter_value("sim.energy.joules", {{"category", "rx"}});
+  r.energy_sensing_j =
+      reg.counter_value("sim.energy.joules", {{"category", "sensing"}});
+  r.energy_compute_j =
+      reg.counter_value("sim.energy.joules", {{"category", "compute"}});
+  r.radio_tx_bytes = reg.counter_sum("sim.radio.tx_bytes");
+  r.radio_rx_bytes = reg.counter_sum("sim.radio.rx_bytes");
+  r.radio_attempts = reg.counter_sum("sim.radio.attempts");
+  r.radio_drops = reg.counter_sum("sim.radio.drops");
+  r.sim_events = reg.counter_sum("sim.events.executed");
+
+  r.broker_rounds = reg.counter_sum("mw.broker.collect_rounds");
+  r.broker_commands = reg.counter_sum("mw.broker.commands_sent");
+  r.broker_replies = reg.counter_sum("mw.broker.replies_received");
+  r.broker_failures = reg.counter_sum("mw.broker.radio_failures");
+  r.broker_bytes = reg.counter_sum("mw.broker.bytes");
+  r.pubsub_published = reg.counter_sum("mw.pubsub.published");
+  r.pubsub_delivered = reg.counter_sum("mw.pubsub.delivered");
+
+  r.omp_solves = reg.counter_sum("cs.omp.solves");
+  r.omp_iterations = reg.counter_sum("cs.omp.iterations");
+  r.chs_solves = reg.counter_sum("cs.chs.solves");
+  r.chs_iterations = reg.counter_sum("cs.chs.iterations");
+  r.simplex_solves = reg.counter_sum("cs.simplex.solves");
+  r.simplex_pivots = reg.counter_sum("cs.simplex.pivots");
+  r.chs_residual = summarize(reg, "cs.chs.residual_rel");
+  r.chs_solve_us = summarize(reg, "cs.chs.solve_us");
+  r.omp_solve_us = summarize(reg, "cs.omp.solve_us");
+
+  r.gather_rounds = reg.counter_sum("hier.nanocloud.rounds");
+  r.nodes_commanded = reg.counter_sum("hier.nanocloud.nodes_commanded");
+  r.zones_gathered = reg.counter_sum("hier.localcloud.zones_gathered");
+  r.uplink_bytes = reg.counter_sum("hier.localcloud.uplink_bytes");
+
+  r.metrics_json = reg.to_json();
+  return r;
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\"campaign\":\"" + escape(campaign) + "\"";
+  out += ",\"sim\":{\"energy_total_j\":" + num(energy_total_j) +
+         ",\"energy_tx_j\":" + num(energy_tx_j) +
+         ",\"energy_rx_j\":" + num(energy_rx_j) +
+         ",\"energy_sensing_j\":" + num(energy_sensing_j) +
+         ",\"energy_compute_j\":" + num(energy_compute_j) +
+         ",\"radio_tx_bytes\":" + num(radio_tx_bytes) +
+         ",\"radio_rx_bytes\":" + num(radio_rx_bytes) +
+         ",\"radio_attempts\":" + num(radio_attempts) +
+         ",\"radio_drops\":" + num(radio_drops) +
+         ",\"events_executed\":" + num(sim_events) + '}';
+  out += ",\"middleware\":{\"broker_rounds\":" + num(broker_rounds) +
+         ",\"commands_sent\":" + num(broker_commands) +
+         ",\"replies_received\":" + num(broker_replies) +
+         ",\"radio_failures\":" + num(broker_failures) +
+         ",\"bytes\":" + num(broker_bytes) +
+         ",\"published\":" + num(pubsub_published) +
+         ",\"delivered\":" + num(pubsub_delivered) + '}';
+  out += ",\"cs\":{\"omp_solves\":" + num(omp_solves) +
+         ",\"omp_iterations\":" + num(omp_iterations) +
+         ",\"chs_solves\":" + num(chs_solves) +
+         ",\"chs_iterations\":" + num(chs_iterations) +
+         ",\"simplex_solves\":" + num(simplex_solves) +
+         ",\"simplex_pivots\":" + num(simplex_pivots) +
+         ",\"chs_residual_rel\":" + hist_json(chs_residual) +
+         ",\"chs_solve_us\":" + hist_json(chs_solve_us) +
+         ",\"omp_solve_us\":" + hist_json(omp_solve_us) + '}';
+  out += ",\"hierarchy\":{\"gather_rounds\":" + num(gather_rounds) +
+         ",\"nodes_commanded\":" + num(nodes_commanded) +
+         ",\"zones_gathered\":" + num(zones_gathered) +
+         ",\"uplink_bytes\":" + num(uplink_bytes) + '}';
+  out += ",\"reconstruction_error\":" + num(reconstruction_error);
+  out += ",\"metrics\":" +
+         (metrics_json.empty() ? std::string("{}") : metrics_json);
+  out += '}';
+  return out;
+}
+
+std::string RunReport::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "RunReport[" << campaign << "]\n"
+     << "  sim:        " << energy_total_j << " J total ("
+     << energy_tx_j << " tx, " << energy_rx_j << " rx, "
+     << energy_sensing_j << " sensing), " << radio_tx_bytes
+     << " B tx, " << radio_drops << "/" << radio_attempts
+     << " radio drops\n"
+     << "  middleware: " << broker_rounds << " rounds, "
+     << broker_commands << " cmds, " << broker_replies << " replies, "
+     << pubsub_published << " published / " << pubsub_delivered
+     << " delivered\n"
+     << "  cs:         chs " << chs_solves << " solves / "
+     << chs_iterations << " iters (residual p50 " << chs_residual.p50
+     << "), omp " << omp_solves << " solves / " << omp_iterations
+     << " iters, simplex " << simplex_pivots << " pivots\n"
+     << "  hierarchy:  " << gather_rounds << " gathers, "
+     << nodes_commanded << " nodes commanded, " << zones_gathered
+     << " zones, " << uplink_bytes << " uplink B\n";
+  if (reconstruction_error >= 0.0) {
+    os << "  reconstruction error: " << reconstruction_error << "\n";
+  }
+  return os.str();
+}
+
+bool write_report(const RunReport& report) {
+  const std::string json = report.to_json();
+  if (const char* path = std::getenv("SENSEDROID_REPORT")) {
+    std::ofstream f(path, std::ios::app);
+    if (!f) {
+      std::fprintf(stderr, "sensedroid: cannot open SENSEDROID_REPORT=%s\n",
+                   path);
+      return false;
+    }
+    f << json << '\n';
+    return static_cast<bool>(f);
+  }
+  std::fputs(json.c_str(), stdout);
+  std::fputc('\n', stdout);
+  return true;
+}
+
+}  // namespace sensedroid::obs

@@ -1,0 +1,92 @@
+// RunReport: a structured per-campaign summary snapshotted from a
+// MetricsRegistry — the numbers the paper argues about (energy J, radio
+// bytes, messages, solver iterations, residuals, reconstruction error)
+// in one JSON-serializable record, so BENCH_*.json trajectories can be
+// captured run over run.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sensedroid::obs {
+
+/// Summary statistics of one histogram series inside a report.
+struct HistSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Per-campaign rollup of the well-known metric names (README.md table)
+/// plus the full registry export for everything else.
+struct RunReport {
+  std::string campaign;
+
+  // sim layer — where the joules and bytes went.
+  double energy_total_j = 0.0;
+  double energy_tx_j = 0.0;
+  double energy_rx_j = 0.0;
+  double energy_sensing_j = 0.0;
+  double energy_compute_j = 0.0;
+  double radio_tx_bytes = 0.0;
+  double radio_rx_bytes = 0.0;
+  double radio_attempts = 0.0;
+  double radio_drops = 0.0;
+  double sim_events = 0.0;
+
+  // middleware layer — message traffic.
+  double broker_rounds = 0.0;
+  double broker_commands = 0.0;
+  double broker_replies = 0.0;
+  double broker_failures = 0.0;
+  double broker_bytes = 0.0;
+  double pubsub_published = 0.0;
+  double pubsub_delivered = 0.0;
+
+  // cs layer — solver work.
+  double omp_solves = 0.0;
+  double omp_iterations = 0.0;
+  double chs_solves = 0.0;
+  double chs_iterations = 0.0;
+  double simplex_solves = 0.0;
+  double simplex_pivots = 0.0;
+  HistSummary chs_residual;   ///< cs.chs.residual_rel
+  HistSummary chs_solve_us;   ///< cs.chs.solve_us
+  HistSummary omp_solve_us;   ///< cs.omp.solve_us
+
+  // hierarchy layer — campaign shape.
+  double gather_rounds = 0.0;
+  double nodes_commanded = 0.0;
+  double zones_gathered = 0.0;
+  double uplink_bytes = 0.0;
+
+  /// epsilon = epsilon_a + epsilon_c + epsilon_m: set by the campaign
+  /// driver, which is the only place ground truth exists.  < 0 = unset.
+  double reconstruction_error = -1.0;
+
+  /// Full registry export (the "everything else" escape hatch).
+  std::string metrics_json;
+
+  /// Snapshots `reg` into a report.  The registry is not modified.
+  static RunReport from_registry(const MetricsRegistry& reg,
+                                 std::string campaign);
+
+  /// Structured JSON: {"campaign":...,"sim":{...},"middleware":{...},
+  /// "cs":{...},"hierarchy":{...},"reconstruction_error":...,
+  /// "metrics":{...full registry...}}.
+  std::string to_json() const;
+
+  /// Short human-readable multi-line summary for terminals.
+  std::string summary() const;
+};
+
+/// Writes `report.to_json()` to the path in $SENSEDROID_REPORT when set
+/// (appending "\n"), else to stdout.  Returns true on success.  Lets
+/// every bench emit a machine-readable trajectory without flag plumbing.
+bool write_report(const RunReport& report);
+
+}  // namespace sensedroid::obs

@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace sensedroid::obs {
+
+namespace {
+
+std::atomic<TraceLog*> g_trace{nullptr};
+std::atomic<double> g_virtual_now{0.0};
+
+// Per-thread stack of open span ids: gives each begin() its parent and
+// depth without a global ordering requirement across threads.
+thread_local std::vector<std::uint64_t> t_open_spans;
+
+double wall_us() noexcept {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string jsonl_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t TraceLog::begin(std::string_view name) {
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.wall_start_us = wall_us();
+  rec.virtual_start = virtual_now();
+  rec.parent = t_open_spans.empty() ? 0 : t_open_spans.back();
+  rec.depth = static_cast<int>(t_open_spans.size());
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    id = next_id_++;
+    rec.id = id;
+    spans_.push_back(std::move(rec));
+  }
+  t_open_spans.push_back(id);
+  return id;
+}
+
+void TraceLog::end(std::uint64_t id) {
+  // Unwind this thread's stack through the span (handles missed ends of
+  // children — e.g. an exception skipped a manual end()).  Spans closed
+  // from a different thread than they were opened on leave the opener's
+  // stack alone.
+  for (std::size_t i = t_open_spans.size(); i-- > 0;) {
+    if (t_open_spans[i] == id) {
+      t_open_spans.resize(i);
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id == 0 || id >= next_id_) return;
+  SpanRecord& rec = spans_[id - 1];
+  if (rec.wall_end_us != 0.0) return;  // already closed
+  rec.wall_end_us = wall_us();
+  rec.virtual_end = virtual_now();
+}
+
+void TraceLog::instant(std::string_view name) { end(begin(name)); }
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_;
+}
+
+std::string TraceLog::to_jsonl() const {
+  const auto spans = snapshot();
+  std::string out;
+  for (const auto& s : spans) {
+    out += "{\"id\":" + std::to_string(s.id) +
+           ",\"parent\":" + std::to_string(s.parent) +
+           ",\"depth\":" + std::to_string(s.depth) + ",\"name\":\"" +
+           jsonl_escape(s.name) + "\",\"wall_start_us\":" +
+           num(s.wall_start_us) + ",\"wall_end_us\":" + num(s.wall_end_us) +
+           ",\"virtual_start\":" + num(s.virtual_start) +
+           ",\"virtual_end\":" + num(s.virtual_end) + "}\n";
+  }
+  return out;
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  spans_.clear();
+  next_id_ = 1;
+}
+
+TraceLog* trace() noexcept { return g_trace.load(std::memory_order_acquire); }
+
+void attach_trace(TraceLog* t) noexcept {
+  g_trace.store(t, std::memory_order_release);
+}
+
+void set_virtual_now(double t) noexcept {
+  g_virtual_now.store(t, std::memory_order_relaxed);
+}
+
+double virtual_now() noexcept {
+  return g_virtual_now.load(std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) noexcept {
+  if (TraceLog* log = trace()) {
+    try {
+      id_ = log->begin(name);
+      log_ = log;
+    } catch (...) {
+      log_ = nullptr;
+    }
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (log_ != nullptr) log_->end(id_);
+}
+
+}  // namespace sensedroid::obs

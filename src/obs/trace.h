@@ -1,0 +1,82 @@
+// Lightweight span tracer: nested begin/end events recorded against
+// both wall-clock and the discrete-event simulator's virtual time.
+//
+// The virtual clock is a process-global sample that `sim::Simulator`
+// refreshes as events fire (obs cannot depend on sim — it sits below
+// every layer), so spans opened inside simulated handlers carry the
+// exact SimTime they executed at.  Dump with `TraceLog::to_jsonl()`:
+// one JSON object per line, parent/depth fields reconstruct the tree.
+//
+// Like the metrics registry, tracing is a null-sink until a TraceLog is
+// attached; `ScopedSpan` then costs one atomic load + branch.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sensedroid::obs {
+
+/// One completed (or still-open) span.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root
+  int depth = 0;             ///< 0 = root
+  std::string name;
+  double wall_start_us = 0.0;  ///< steady-clock, relative to process start
+  double wall_end_us = 0.0;    ///< 0 while open
+  double virtual_start = 0.0;  ///< sim::SimTime seconds at begin
+  double virtual_end = 0.0;
+};
+
+/// Append-only span log.  begin()/end() are thread-safe; nesting
+/// (parent/depth) is tracked per thread, so spans opened and closed on
+/// the same thread form a proper tree.
+class TraceLog {
+ public:
+  /// Opens a span; returns its id (never 0).
+  std::uint64_t begin(std::string_view name);
+  /// Closes the span.  Unknown/already-closed ids are ignored.
+  void end(std::uint64_t id);
+  /// Records an instant event (zero-duration span).
+  void instant(std::string_view name);
+
+  std::size_t size() const;
+  std::vector<SpanRecord> snapshot() const;
+  /// One JSON object per line:
+  /// {"id":1,"parent":0,"depth":0,"name":"...","wall_start_us":...,
+  ///  "wall_end_us":...,"virtual_start":...,"virtual_end":...}
+  std::string to_jsonl() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;  // indexed by id - 1
+  std::uint64_t next_id_ = 1;
+};
+
+/// Currently attached trace log, or nullptr (default).
+TraceLog* trace() noexcept;
+void attach_trace(TraceLog* t) noexcept;
+
+/// Latest virtual time sample.  `sim::Simulator` publishes `now()` here
+/// as events fire; anything else (tests, custom loops) may too.
+void set_virtual_now(double t) noexcept;
+double virtual_now() noexcept;
+
+/// RAII span against the attached TraceLog; inert when detached.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceLog* log_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace sensedroid::obs

@@ -5,6 +5,11 @@
 // src/<module>/ is a separate static library).
 #pragma once
 
+// Observability: metrics registry, span tracer, run reports.
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
 // Linear algebra + sparsifying bases (eq. 2).
 #include "linalg/basis.h"
 #include "linalg/decomposition.h"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace sensedroid::sim {
 
 std::string to_string(EnergyCategory c) {
@@ -21,6 +23,10 @@ void EnergyMeter::add(EnergyCategory c, double joules) {
     throw std::invalid_argument("EnergyMeter::add: negative energy");
   }
   by_cat_[static_cast<std::size_t>(c)] += joules;
+  if (obs::attached()) {
+    obs::add_counter("sim.energy.joules", {{"category", to_string(c)}},
+                     joules);
+  }
 }
 
 double EnergyMeter::total_j() const noexcept {
@@ -48,6 +54,7 @@ bool Battery::draw(double joules) {
   }
   if (joules > remaining_j()) {
     consumed_j_ = capacity_j_;
+    obs::add_counter("sim.battery.depletions");
     return false;
   }
   consumed_j_ += joules;

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sensedroid::sim {
 
 std::uint64_t Simulator::schedule(SimTime delay, Handler fn) {
@@ -32,6 +35,13 @@ bool Simulator::fire_next() {
     if (live_.erase(ev.id) == 0) continue;  // cancelled
     now_ = ev.time;
     ++executed_;
+    // Publish virtual time so spans opened inside the handler carry the
+    // SimTime they executed at (obs cannot depend on sim).
+    obs::set_virtual_now(now_);
+    if (obs::attached()) {
+      obs::add_counter("sim.events.executed");
+      obs::set_gauge("sim.events.pending", static_cast<double>(live_.size()));
+    }
     ev.fn();
     return true;
   }

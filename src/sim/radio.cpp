@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace sensedroid::sim {
 
 std::string to_string(RadioKind kind) {
@@ -34,10 +36,18 @@ double LinkModel::transfer_time_s(std::size_t bytes) const noexcept {
 }
 
 double LinkModel::tx_energy_j(std::size_t bytes) const noexcept {
+  if (obs::attached()) {
+    obs::add_counter("sim.radio.tx_bytes", {{"radio", to_string(kind)}},
+                     static_cast<double>(bytes));
+  }
   return tx_energy_per_byte_j * static_cast<double>(bytes);
 }
 
 double LinkModel::rx_energy_j(std::size_t bytes) const noexcept {
+  if (obs::attached()) {
+    obs::add_counter("sim.radio.rx_bytes", {{"radio", to_string(kind)}},
+                     static_cast<double>(bytes));
+  }
   return rx_energy_per_byte_j * static_cast<double>(bytes);
 }
 
@@ -55,7 +65,14 @@ double LinkModel::delivery_probability(double dist) const noexcept {
 }
 
 bool LinkModel::delivery_succeeds(double dist, Rng& rng) const {
-  return rng.bernoulli(delivery_probability(dist));
+  const bool ok = rng.bernoulli(delivery_probability(dist));
+  if (obs::attached()) {
+    obs::add_counter("sim.radio.attempts", {{"radio", to_string(kind)}}, 1.0);
+    if (!ok) {
+      obs::add_counter("sim.radio.drops", {{"radio", to_string(kind)}}, 1.0);
+    }
+  }
+  return ok;
 }
 
 }  // namespace sensedroid::sim

@@ -1,0 +1,436 @@
+// sensedroid_obs unit tests: concurrent counter increments, histogram
+// quantile correctness against a known distribution, span nesting, and
+// exporter output validity.  Deliberately depends only on the obs
+// library so the ASan twin binary (test_obs_asan) stays small.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+using namespace sensedroid;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON syntax checker: enough to prove the
+// exporters emit well-formed JSON (objects, arrays, strings, numbers,
+// literals), which is the round-trip contract downstream tooling needs.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-' || peek() == '+') ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < s_.size() && std::isdigit(
+                 static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (peek() == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (peek() == '-' || peek() == '+') ++pos_;
+      eat_digits();
+    }
+    return digits && pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// Detach global sinks around every test so instrumented code elsewhere
+// in the process never leaks into assertions.
+class ObsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::attach_registry(nullptr);
+    obs::attach_trace(nullptr);
+    obs::set_virtual_now(0.0);
+  }
+};
+
+TEST_F(ObsTest, CounterConcurrentIncrements) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      auto& c = reg.counter("test.concurrent");
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(reg.counter("test.concurrent").value(),
+                   static_cast<double>(kThreads * kPerThread));
+}
+
+TEST_F(ObsTest, CounterConcurrentViaGlobalHelpers) {
+  obs::MetricsRegistry reg;
+  obs::attach_registry(&reg);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::add_counter("test.global");
+        // Series creation raced across threads as well.
+        obs::add_counter("test.labelled",
+                         {{"thread", std::to_string(t % 3)}}, 1.0);
+        obs::observe("test.hist", static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(reg.counter_sum("test.global"),
+                   static_cast<double>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(reg.counter_sum("test.labelled"),
+                   static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(reg.find_histogram("test.hist")->count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, DetachedHelpersAreInert) {
+  ASSERT_FALSE(obs::attached());
+  obs::add_counter("nobody.home");
+  obs::set_gauge("nobody.home", 3.0);
+  obs::observe("nobody.home", 1.0);
+  { obs::ScopedTimer t("nobody.home_us"); }
+  { obs::ScopedSpan s("nobody.home.span"); }
+  obs::MetricsRegistry reg;
+  obs::attach_registry(&reg);
+  obs::add_counter("somebody.home");
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  obs::MetricsRegistry reg;
+  auto& g = reg.gauge("test.depth");
+  g.set(10.0);
+  g.add(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("test.depth"), 7.0);
+}
+
+TEST_F(ObsTest, LabelOrderAddressesSameSeries) {
+  obs::MetricsRegistry reg;
+  reg.counter("test.multi", {{"a", "1"}, {"b", "2"}}).add(1.0);
+  reg.counter("test.multi", {{"b", "2"}, {"a", "1"}}).add(2.0);
+  reg.counter("test.multi", {{"a", "9"}}).add(4.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter_value("test.multi", {{"b", "2"}, {"a", "1"}}), 3.0);
+  EXPECT_DOUBLE_EQ(reg.counter_sum("test.multi"), 7.0);
+}
+
+TEST_F(ObsTest, HistogramQuantilesOfUniformDistribution) {
+  obs::Histogram h;
+  // 1..1000 uniformly: true quantile q is ~1000q.  Default bounds have
+  // decade/2.5/5 spacing, so linear interpolation inside a bucket keeps
+  // the estimate within the bucket width.
+  for (int v = 1; v <= 1000; ++v) h.observe(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.sum(), 500500.0, 1e-6);
+  EXPECT_NEAR(h.quantile(0.50), 500.0, 50.0);
+  EXPECT_NEAR(h.quantile(0.95), 950.0, 50.0);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST_F(ObsTest, HistogramCustomBoundsAndOverflow) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(100.0);  // overflow bucket
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // p99 lands in the overflow bucket, which is capped at max().
+  EXPECT_LE(h.quantile(0.99), 100.0);
+}
+
+TEST_F(ObsTest, SpanNestingTracksParentAndDepth) {
+  obs::TraceLog log;
+  obs::attach_trace(&log);
+  obs::set_virtual_now(10.0);
+  {
+    obs::ScopedSpan outer("outer");
+    obs::set_virtual_now(11.0);
+    {
+      obs::ScopedSpan inner("inner");
+      obs::set_virtual_now(12.0);
+      { obs::ScopedSpan leaf("leaf"); }
+    }
+    { obs::ScopedSpan sibling("sibling"); }
+  }
+  const auto spans = log.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  const auto& outer = spans[0];
+  const auto& inner = spans[1];
+  const auto& leaf = spans[2];
+  const auto& sibling = spans[3];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(leaf.parent, inner.id);
+  EXPECT_EQ(leaf.depth, 2);
+  EXPECT_EQ(sibling.parent, outer.id);
+  EXPECT_EQ(sibling.depth, 1);
+  // Virtual time: outer opened at vt=10, closed after it advanced to 12.
+  EXPECT_DOUBLE_EQ(outer.virtual_start, 10.0);
+  EXPECT_DOUBLE_EQ(outer.virtual_end, 12.0);
+  EXPECT_DOUBLE_EQ(inner.virtual_start, 11.0);
+  // Wall clock is monotone and closed.
+  EXPECT_GE(outer.wall_end_us, outer.wall_start_us);
+  EXPECT_GE(leaf.wall_start_us, inner.wall_start_us);
+}
+
+TEST_F(ObsTest, TraceJsonlEveryLineParses) {
+  obs::TraceLog log;
+  obs::attach_trace(&log);
+  {
+    obs::ScopedSpan a("round \"1\"");  // name needing escaping
+    obs::ScopedSpan b("inner");
+  }
+  log.instant("marker");
+  const std::string jsonl = log.to_jsonl();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = jsonl.substr(start, end - start);
+    EXPECT_TRUE(JsonChecker(line).valid()) << "bad JSONL line: " << line;
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST_F(ObsTest, JsonExporterParsesCleanly) {
+  obs::MetricsRegistry reg;
+  reg.counter("cs.omp.iterations").add(42.0);
+  reg.counter("sim.radio.tx_bytes", {{"radio", "wifi"}}).add(1024.0);
+  reg.gauge("mw.broker.queue_depth").set(7.0);
+  auto& h = reg.histogram("cs.chs.residual_rel");
+  h.observe(0.01);
+  h.observe(0.5);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("cs.omp.iterations"), std::string::npos);
+  EXPECT_NE(json.find("\"radio\":\"wifi\""), std::string::npos);
+  EXPECT_NE(json.find("mw.broker.queue_depth"), std::string::npos);
+  EXPECT_NE(json.find("cs.chs.residual_rel"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusExporterWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.counter("cs.omp.iterations").add(42.0);
+  reg.counter("sim.radio.tx_bytes", {{"radio", "wifi"}}).add(1024.0);
+  reg.gauge("sim.events.pending").set(3.0);
+  reg.histogram("cs.chs.solve_us").observe(120.0);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE cs_omp_iterations counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("cs_omp_iterations 42"), std::string::npos);
+  EXPECT_NE(text.find("sim_radio_tx_bytes{radio=\"wifi\"} 1024"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sim_events_pending gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("cs_chs_solve_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      const std::size_t sp = line.rfind(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      EXPECT_GT(sp, 0u) << line;
+      EXPECT_LT(sp + 1, line.size()) << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST_F(ObsTest, RunReportAggregatesWellKnownNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("sim.energy.joules", {{"category", "tx"}}).add(1.5);
+  reg.counter("sim.energy.joules", {{"category", "sensing"}}).add(0.5);
+  reg.counter("mw.broker.commands_sent").add(20.0);
+  reg.counter("mw.broker.replies_received").add(18.0);
+  reg.counter("cs.chs.solves").add(2.0);
+  reg.counter("cs.chs.iterations").add(9.0);
+  reg.counter("hier.nanocloud.rounds").add(2.0);
+  reg.histogram("cs.chs.residual_rel").observe(0.05);
+
+  auto report = obs::RunReport::from_registry(reg, "unit-test");
+  report.reconstruction_error = 0.07;
+  EXPECT_DOUBLE_EQ(report.energy_total_j, 2.0);
+  EXPECT_DOUBLE_EQ(report.energy_tx_j, 1.5);
+  EXPECT_DOUBLE_EQ(report.energy_sensing_j, 0.5);
+  EXPECT_DOUBLE_EQ(report.broker_commands, 20.0);
+  EXPECT_DOUBLE_EQ(report.broker_replies, 18.0);
+  EXPECT_DOUBLE_EQ(report.chs_solves, 2.0);
+  EXPECT_DOUBLE_EQ(report.chs_iterations, 9.0);
+  EXPECT_DOUBLE_EQ(report.gather_rounds, 2.0);
+  EXPECT_EQ(report.chs_residual.count, 1u);
+
+  const std::string json = report.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"campaign\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"reconstruction_error\":0.07"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST_F(ObsTest, RegistryClearDropsSeries) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").inc();
+  reg.gauge("b").set(1.0);
+  reg.histogram("c").observe(1.0);
+  EXPECT_EQ(reg.series_count(), 3u);
+  reg.clear();
+  EXPECT_EQ(reg.series_count(), 0u);
+  EXPECT_TRUE(JsonChecker(reg.to_json()).valid());
+}
+
+TEST_F(ObsTest, ConcurrentSpansFromManyThreads) {
+  obs::TraceLog log;
+  obs::attach_trace(&log);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::ScopedSpan outer("outer");
+        obs::ScopedSpan inner("inner");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto spans = log.snapshot();
+  ASSERT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread * 2);
+  for (const auto& s : spans) {
+    EXPECT_NE(s.wall_end_us, 0.0);  // everything closed
+    if (s.name == "inner") {
+      EXPECT_EQ(s.depth, 1);
+    }
+  }
+}
+
+}  // namespace
