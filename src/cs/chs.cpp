@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "cs/least_squares.h"
@@ -137,6 +138,63 @@ Vector interpolate_to_grid_2d(std::span<const double> values,
   return out;
 }
 
+namespace {
+
+// Median of a scratch copy (nth_element mutates).
+double median_of(Vector v) {
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double med = v[mid];
+  if (v.size() % 2 == 0) {
+    std::nth_element(v.begin(), v.begin() + (mid - 1), v.begin() + mid);
+    med = 0.5 * (med + v[mid - 1]);
+  }
+  return med;
+}
+
+// MAD screening (the robust-degrade path): drop readings far from the
+// sample median before the refit sees them.  Returns nullopt when
+// screening does not apply (too few samples, degenerate MAD, nothing
+// rejected, or rejection would leave too little to solve on).
+std::optional<Measurement> mad_screen(const Measurement& meas,
+                                      double threshold,
+                                      std::size_t* rejected) {
+  constexpr std::size_t kMinSamples = 8;  // below this the median is noise
+  constexpr std::size_t kMinKept = 4;     // enough rows left to refit
+  const std::size_t m = meas.values.size();
+  if (m < kMinSamples) return std::nullopt;
+
+  const double med = median_of(meas.values);
+  Vector dev(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    dev[i] = std::abs(meas.values[i] - med);
+  }
+  const double mad = median_of(dev);
+  if (mad <= 0.0) return std::nullopt;  // half the fleet agrees exactly
+
+  const double cut = threshold * 1.4826 * mad;  // 1.4826: MAD -> sigma
+  const auto locations = meas.plan.indices();
+  const bool has_noise = meas.noise.size() == m;
+  std::vector<std::size_t> kept_loc;
+  Vector kept_val;
+  Vector kept_sigma;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (dev[i] > cut) continue;
+    kept_loc.push_back(locations[i]);
+    kept_val.push_back(meas.values[i]);
+    if (has_noise) kept_sigma.push_back(meas.noise.stddev[i]);
+  }
+  if (kept_val.size() == m || kept_val.size() < kMinKept) return std::nullopt;
+
+  *rejected = m - kept_val.size();
+  auto plan = MeasurementPlan::from_indices(meas.plan.signal_size(),
+                                            std::move(kept_loc));
+  return Measurement{std::move(plan), std::move(kept_val),
+                     SensorNoise{std::move(kept_sigma)}};
+}
+
+}  // namespace
+
 ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
                           const ChsOptions& opts) {
   const std::size_t n = basis.rows();
@@ -152,6 +210,23 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
   }
   if (opts.refit == Refit::kGls && meas.noise.size() != m) {
     throw std::invalid_argument("chs_reconstruct: noise model size mismatch");
+  }
+
+  if (opts.mad_threshold > 0.0) {
+    std::size_t rejected = 0;
+    if (auto screened = mad_screen(meas, opts.mad_threshold, &rejected)) {
+      ChsOptions inner = opts;
+      inner.mad_threshold = 0.0;  // screen once; recurse for the solve
+      ChsResult res = chs_reconstruct(basis, *screened, inner);
+      res.outliers_rejected = rejected;
+      res.degraded = true;
+      if (obs::attached()) {
+        obs::add_counter("cs.chs.outliers_rejected",
+                         static_cast<double>(rejected));
+        obs::add_counter("cs.chs.degraded_solves");
+      }
+      return res;
+    }
   }
 
   obs::ScopedSpan span("cs.chs.reconstruct");

@@ -68,6 +68,13 @@ struct ChsOptions {
   /// 2-D: kNearest takes the Euclidean-nearest sample, kLinear an
   /// inverse-distance blend of nearby samples.  Must divide N.
   std::size_t grid_height = 0;
+  /// Robust-degrade guard: when > 0, readings whose residual from the
+  /// sample median exceeds mad_threshold * 1.4826 * MAD are screened out
+  /// before the solve (spiking sensors would otherwise drag the OLS/GLS
+  /// refit arbitrarily far).  Applied only with >= 8 measurements and a
+  /// nonzero MAD; when anything is rejected the result is flagged
+  /// degraded.  0 disables screening (seed behavior).  Typical: 4-6.
+  double mad_threshold = 0.0;
 };
 
 struct ChsResult {
@@ -76,6 +83,8 @@ struct ChsResult {
   std::vector<std::size_t> support;   ///< J, ascending
   double residual_norm = 0.0;         ///< final ||x_S - Phi~_K alpha_K||
   std::size_t iterations = 0;
+  std::size_t outliers_rejected = 0;  ///< readings screened out by MAD
+  bool degraded = false;              ///< solved on a screened subset
 };
 
 /// Runs the Fig. 6 loop.  `basis` is the N x N synthesis basis Phi;

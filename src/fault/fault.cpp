@@ -1,0 +1,217 @@
+#include "fault/fault.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace sensedroid::fault {
+
+namespace {
+
+void check_prob(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " must be in [0, 1]");
+  }
+}
+
+// SplitMix64 finalizer: derives a per-node seed from (plan seed, node id,
+// purpose salt) so every per-node stream is independent and reproducible
+// no matter which nodes exist or in which order they are queried.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+constexpr std::uint64_t kChurnSalt = 0x636875726eULL;   // "churn"
+constexpr std::uint64_t kSensorSalt = 0x73656e73ULL;    // "sens"
+constexpr std::uint64_t kLinkSalt = 0x6c696e6bULL;      // "link"
+
+}  // namespace
+
+double GilbertElliott::bad_occupancy() const noexcept {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  return denom > 0.0 ? p_good_to_bad / denom : 0.0;
+}
+
+double GilbertElliott::mean_loss() const noexcept {
+  const double pi_bad = bad_occupancy();
+  return pi_bad * loss_bad + (1.0 - pi_bad) * loss_good;
+}
+
+void FaultPlan::validate() const {
+  check_prob(link.p_good_to_bad, "link.p_good_to_bad");
+  check_prob(link.p_bad_to_good, "link.p_bad_to_good");
+  check_prob(link.loss_good, "link.loss_good");
+  check_prob(link.loss_bad, "link.loss_bad");
+  check_prob(churn.leave_prob, "churn.leave_prob");
+  check_prob(churn.rejoin_prob, "churn.rejoin_prob");
+  check_prob(sensors.stuck_fraction, "sensors.stuck_fraction");
+  check_prob(sensors.drift_fraction, "sensors.drift_fraction");
+  check_prob(sensors.spike_prob, "sensors.spike_prob");
+  if (sensors.stuck_fraction + sensors.drift_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FaultPlan: stuck_fraction + drift_fraction must be <= 1");
+  }
+  if (sensors.spike_sigmas < 0.0) {
+    throw std::invalid_argument("FaultPlan: spike_sigmas must be >= 0");
+  }
+  for (const CrashWindow& w : broker_crashes) {
+    if (w.from_round > w.to_round) {
+      throw std::invalid_argument("FaultPlan: inverted crash window");
+    }
+  }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), link_rng_(mix(plan_.seed, kLinkSalt)) {
+  plan_.validate();
+}
+
+void FaultInjector::begin_round() {
+  ++round_;
+  obs::add_counter("fault.injector.rounds");
+  // Crash windows are tallied when they cover the new round so the
+  // injected count reflects outages even if nobody gathers that zone.
+  for (const CrashWindow& w : plan_.broker_crashes) {
+    if (round_ >= w.from_round && round_ <= w.to_round) {
+      ++tally_.crashed_broker_rounds;
+      obs::add_counter("fault.broker.crashed_rounds");
+    }
+  }
+}
+
+bool FaultInjector::link_attempt_drops() {
+  if (!plan_.link.enabled()) return false;
+  // Advance the two-state chain, then draw the state's loss.
+  if (link_bad_) {
+    if (link_rng_.bernoulli(plan_.link.p_bad_to_good)) link_bad_ = false;
+  } else {
+    if (link_rng_.bernoulli(plan_.link.p_good_to_bad)) {
+      link_bad_ = true;
+      ++tally_.link_bursts;
+      obs::add_counter("fault.link.bursts");
+    }
+  }
+  const double loss = link_bad_ ? plan_.link.loss_bad : plan_.link.loss_good;
+  const bool drop = link_rng_.bernoulli(loss);
+  if (drop) {
+    ++tally_.link_drops;
+    obs::add_counter("fault.link.drops");
+  }
+  return drop;
+}
+
+bool FaultInjector::node_present(std::uint32_t node) {
+  if (!plan_.churn.enabled()) return true;
+  auto [it, created] = churn_.try_emplace(
+      node, ChurnState{Rng(mix(plan_.seed, mix(kChurnSalt, node))), 0, true});
+  ChurnState& st = it->second;
+  // Lazily advance the node's private chain up to the current round: one
+  // draw per round per node, independent of query order or count.
+  while (st.round < round_) {
+    ++st.round;
+    if (st.present) {
+      if (st.rng.bernoulli(plan_.churn.leave_prob)) {
+        st.present = false;
+        ++tally_.churn_leaves;
+        obs::add_counter("fault.churn.leaves");
+      }
+    } else {
+      if (st.rng.bernoulli(plan_.churn.rejoin_prob)) {
+        st.present = true;
+        ++tally_.churn_rejoins;
+        obs::add_counter("fault.churn.rejoins");
+      }
+    }
+  }
+  if (!st.present) {
+    ++tally_.churn_absences;
+    obs::add_counter("fault.churn.absent");
+  }
+  return st.present;
+}
+
+bool FaultInjector::broker_down(std::uint32_t zone) const noexcept {
+  for (const CrashWindow& w : plan_.broker_crashes) {
+    if (w.zone == zone && round_ >= w.from_round && round_ <= w.to_round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+sensing::SimulatedSensor::ReadHook FaultInjector::sensor_hook(
+    std::uint32_t node, double sigma) {
+  if (!plan_.sensors.enabled()) return {};
+
+  // Per-node defect assignment from a private stream: one uniform decides
+  // stuck / drift / healthy, so the assignment is stable per (seed, node).
+  Rng rng(mix(plan_.seed, mix(kSensorSalt, node)));
+  const double u = rng.uniform();
+  const bool stuck = u < plan_.sensors.stuck_fraction;
+  const bool drift =
+      !stuck &&
+      u < plan_.sensors.stuck_fraction + plan_.sensors.drift_fraction;
+  if (stuck) {
+    ++tally_.stuck_nodes;
+    obs::add_counter("fault.sensor.stuck_nodes");
+  }
+  if (drift) {
+    ++tally_.drift_nodes;
+    obs::add_counter("fault.sensor.drift_nodes");
+  }
+  if (!stuck && !drift && plan_.sensors.spike_prob <= 0.0) return {};
+
+  struct HookState {
+    Rng rng;
+    bool stuck = false;
+    bool has_frozen = false;
+    double frozen = 0.0;
+    double drift_step = 0.0;
+    double drift_offset = 0.0;
+    double spike_prob = 0.0;
+    double spike_mag = 0.0;
+  };
+  auto st = std::make_shared<HookState>();
+  st->rng = rng;  // continues the per-node stream past the assignment draw
+  st->stuck = stuck;
+  st->drift_step = drift ? plan_.sensors.drift_per_read : 0.0;
+  st->spike_prob = plan_.sensors.spike_prob;
+  // Spikes scale with the unit's noise sigma so they are outliers for any
+  // sensor kind; a floor keeps them visible on near-exact sensors.
+  st->spike_mag =
+      plan_.sensors.spike_sigmas * std::max(sigma, 1e-3);
+
+  Tally* tally = &tally_;
+  return [st, tally](std::size_t /*index*/, double value) {
+    if (st->stuck) {
+      if (!st->has_frozen) {
+        st->has_frozen = true;
+        st->frozen = value;
+      }
+      value = st->frozen;
+    } else if (st->drift_step != 0.0) {
+      st->drift_offset += st->drift_step;
+      value += st->drift_offset;
+    }
+    if (st->spike_prob > 0.0 && st->rng.bernoulli(st->spike_prob)) {
+      // Sign alternates deterministically with the stream.
+      const double sign = st->rng.bernoulli(0.5) ? 1.0 : -1.0;
+      value += sign * st->spike_mag;
+      ++tally->sensor_spikes;
+      obs::add_counter("fault.sensor.spikes");
+    }
+    return value;
+  };
+}
+
+}  // namespace sensedroid::fault

@@ -1,0 +1,193 @@
+// Deterministic, seeded fault injection for the crowdsensing substrate.
+//
+// The paper's premise is that crowdsensed phones are an *unreliable*
+// platform — "the number of nodes ... can change dynamically", radios
+// drop, sensors misbehave — so every resilience claim needs a way to
+// provoke those failures reproducibly.  A FaultPlan describes what goes
+// wrong (bursty link loss, node churn, sensor defects, broker crashes,
+// undersized batteries); a FaultInjector executes the plan from one seed
+// so that the same campaign replayed with the same plan produces
+// bit-identical GatherStats and reconstruction error.
+//
+// The injector draws all of its randomness from private streams derived
+// from FaultPlan::seed — never from the campaign Rng — so attaching a
+// benign (all-knobs-zero) injector leaves every existing experiment
+// bit-identical to running with no injector at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "linalg/random.h"
+#include "sensing/sensor.h"
+
+namespace sensedroid::fault {
+
+using linalg::Rng;
+
+/// Two-state Gilbert–Elliott burst-loss process: the link alternates
+/// between a good state (near-lossless) and a bad state (deep fade) with
+/// per-attempt transition probabilities.  Layered *on top of* the
+/// distance loss of sim::LinkModel: an attempt must survive both.
+struct GilbertElliott {
+  double p_good_to_bad = 0.0;  ///< per-attempt P(good -> bad)
+  double p_bad_to_good = 0.25; ///< per-attempt P(bad -> good)
+  double loss_good = 0.0;      ///< forced-drop probability in good state
+  double loss_bad = 0.0;       ///< forced-drop probability in bad state
+
+  bool enabled() const noexcept {
+    return p_good_to_bad > 0.0 && (loss_bad > 0.0 || loss_good > 0.0);
+  }
+  /// Stationary fraction of attempts spent in the bad state.
+  double bad_occupancy() const noexcept;
+  /// Long-run average forced-drop probability of the chain.
+  double mean_loss() const noexcept;
+};
+
+/// Node churn: every round each present node leaves with `leave_prob`
+/// and each absent node rejoins with `rejoin_prob`, giving geometric
+/// leave/rejoin windows.  Absent nodes never hear broker commands.
+struct ChurnPlan {
+  double leave_prob = 0.0;
+  double rejoin_prob = 0.25;
+
+  bool enabled() const noexcept { return leave_prob > 0.0; }
+};
+
+/// Sensor defects applied at SimulatedSensor read time (via the sensor's
+/// read hook).  Stuck-at and drift are *per-node* afflictions assigned
+/// deterministically from the plan seed; spikes strike any reading.
+struct SensorFaultPlan {
+  double stuck_fraction = 0.0;  ///< nodes whose sensor freezes at first read
+  double drift_fraction = 0.0;  ///< nodes whose sensor accumulates bias
+  double drift_per_read = 0.0;  ///< bias added per read on drifting nodes
+  double spike_prob = 0.0;      ///< per-reading outlier probability
+  double spike_sigmas = 8.0;    ///< spike magnitude in units of sensor sigma
+
+  bool enabled() const noexcept {
+    return stuck_fraction > 0.0 || drift_fraction > 0.0 || spike_prob > 0.0;
+  }
+};
+
+/// A scheduled broker outage: zone `zone`'s broker is down for rounds
+/// [from_round, to_round] inclusive.  Rounds are 1-based and advanced by
+/// the campaign driver via FaultInjector::begin_round().
+struct CrashWindow {
+  std::uint32_t zone = 0;
+  std::size_t from_round = 0;
+  std::size_t to_round = 0;
+};
+
+/// Battery sabotage: when capacity_override_j >= 0, every phone in a
+/// cloud built against this injector gets that capacity instead of the
+/// configured one (infrastructure backfill sensors are mains-powered and
+/// unaffected).  This is how the old ad-hoc battery-death scenarios are
+/// expressed as a plan.
+struct BatteryPlan {
+  double capacity_override_j = -1.0;
+
+  bool enabled() const noexcept { return capacity_override_j >= 0.0; }
+};
+
+/// The full fault schedule of one campaign.  Plain data: copy it, diff
+/// it, replay it.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  GilbertElliott link;
+  ChurnPlan churn;
+  SensorFaultPlan sensors;
+  std::vector<CrashWindow> broker_crashes;
+  BatteryPlan battery;
+
+  /// Throws std::invalid_argument when any probability is outside [0, 1]
+  /// or a crash window is inverted.
+  void validate() const;
+};
+
+/// Executes a FaultPlan.  Single-threaded; not reentrant.  The injector
+/// must outlive every cloud, broker, and sensor hook built against it.
+///
+/// Determinism contract: given the same plan (seed included) and the
+/// same sequence of calls, every method returns the same answers.  All
+/// randomness comes from streams derived from plan.seed; the campaign
+/// Rng is never touched, so a disabled injector is behaviorally
+/// invisible.
+class FaultInjector {
+ public:
+  /// Validates and adopts the plan.
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Current campaign round; 0 until the first begin_round().
+  std::size_t current_round() const noexcept { return round_; }
+
+  /// Advances to the next round (rounds are 1-based).  Called by the
+  /// campaign driver once per gathering round; churn and crash windows
+  /// evolve at round granularity.
+  void begin_round();
+
+  /// One transmission attempt through the bursty channel: advances the
+  /// Gilbert–Elliott chain one step and returns true when the burst
+  /// process forces a drop.  Callers layer this on LinkModel's distance
+  /// loss (forced drops replace the distance draw).  No-op returning
+  /// false when the plan's link faults are disabled.
+  bool link_attempt_drops();
+
+  /// True while the GE chain sits in the bad (deep-fade) state.
+  bool link_in_bad_state() const noexcept { return link_bad_; }
+
+  /// Whether `node` is churned in during the current round.  A node's
+  /// presence is fixed for the round and deterministic per (seed, node,
+  /// round) regardless of how often or in what order nodes are queried.
+  bool node_present(std::uint32_t node);
+
+  /// Whether zone `zone`'s broker is inside a scheduled crash window
+  /// this round.
+  bool broker_down(std::uint32_t zone) const noexcept;
+
+  /// Builds the read-time fault hook for node `node`'s sensor (stuck-at,
+  /// drift, spikes per the plan); returns an empty function when the
+  /// node draws no defect and spikes are off.  Install the result with
+  /// SimulatedSensor::set_read_hook.  `sigma` scales spike magnitude.
+  sensing::SimulatedSensor::ReadHook sensor_hook(std::uint32_t node,
+                                                 double sigma);
+
+  /// Running tally of every fault this injector has forced — the
+  /// "injected" side of the injected-vs-recovered report.
+  struct Tally {
+    std::size_t link_drops = 0;      ///< GE forced transmission drops
+    std::size_t link_bursts = 0;     ///< good -> bad transitions
+    std::size_t churn_leaves = 0;
+    std::size_t churn_rejoins = 0;
+    std::size_t churn_absences = 0;  ///< commands addressed to absent nodes
+    std::size_t sensor_spikes = 0;
+    std::size_t stuck_nodes = 0;
+    std::size_t drift_nodes = 0;
+    std::size_t crashed_broker_rounds = 0;
+
+    std::size_t total_injected() const noexcept {
+      return link_drops + churn_absences + sensor_spikes +
+             crashed_broker_rounds;
+    }
+  };
+  const Tally& tally() const noexcept { return tally_; }
+
+ private:
+  struct ChurnState {
+    Rng rng;
+    std::size_t round = 0;  ///< last round the chain was advanced to
+    bool present = true;
+  };
+
+  FaultPlan plan_;
+  Rng link_rng_;
+  bool link_bad_ = false;
+  std::size_t round_ = 0;
+  std::map<std::uint32_t, ChurnState> churn_;
+  Tally tally_;
+};
+
+}  // namespace sensedroid::fault

@@ -1,0 +1,30 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sensedroid::fault {
+
+double RetryPolicy::next_backoff_s(double prev, linalg::Rng& rng) const {
+  const double hi = std::max(base_backoff_s,
+                             3.0 * (prev > 0.0 ? prev : base_backoff_s));
+  return std::min(max_backoff_s, rng.uniform(base_backoff_s, hi));
+}
+
+void RetryPolicy::validate() const {
+  if (max_attempts == 0) {
+    throw std::invalid_argument("RetryPolicy: max_attempts must be >= 1");
+  }
+  if (base_backoff_s < 0.0 || max_backoff_s < base_backoff_s) {
+    throw std::invalid_argument(
+        "RetryPolicy: need 0 <= base_backoff_s <= max_backoff_s");
+  }
+  if (round_deadline_s < 0.0) {
+    throw std::invalid_argument("RetryPolicy: round_deadline_s must be >= 0");
+  }
+  if (min_retry_soc < 0.0 || min_retry_soc > 1.0) {
+    throw std::invalid_argument("RetryPolicy: min_retry_soc must be in [0, 1]");
+  }
+}
+
+}  // namespace sensedroid::fault

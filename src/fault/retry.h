@@ -1,0 +1,45 @@
+// Resilience policy for broker gather rounds: bounded retries with
+// exponential backoff and decorrelated jitter, a per-round deadline in
+// sim::EventSim virtual seconds, and an energy-aware skip that stops
+// retrying nodes whose battery is nearly flat.
+//
+// The default policy (max_attempts = 1) reproduces the seed broker's
+// one-shot behavior exactly — no extra Rng draws, no extra virtual time
+// — so existing experiments are unchanged until a campaign opts in.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/random.h"
+
+namespace sensedroid::fault {
+
+struct RetryPolicy {
+  /// Total command attempts per node per round (1 = no retry).
+  std::size_t max_attempts = 1;
+  /// First-retry backoff floor in virtual seconds.
+  double base_backoff_s = 0.02;
+  /// Backoff ceiling in virtual seconds.
+  double max_backoff_s = 1.0;
+  /// Per-round deadline in virtual seconds; once a round's accumulated
+  /// transfer + backoff time crosses it, remaining nodes/retries are
+  /// skipped (counted as deadline skips).  0 = no deadline.
+  double round_deadline_s = 0.0;
+  /// Energy-aware skip: retries (never first attempts) are withheld from
+  /// nodes whose battery state of charge is below this fraction —
+  /// re-telemetering a dying phone wastes its last joules.
+  double min_retry_soc = 0.0;
+
+  bool retries_enabled() const noexcept { return max_attempts > 1; }
+
+  /// Next backoff via decorrelated jitter: uniform in
+  /// [base, max(base, 3 * prev)], capped at max_backoff_s.  Pass the
+  /// previous backoff (0 on the first retry).  Draws exactly one uniform
+  /// from `rng`.
+  double next_backoff_s(double prev, linalg::Rng& rng) const;
+
+  /// Throws std::invalid_argument on nonsensical settings.
+  void validate() const;
+};
+
+}  // namespace sensedroid::fault

@@ -23,7 +23,9 @@ LocalCloud::LocalCloud(const field::SpatialField& truth,
     zone_truths_.push_back(grid.extract(truth, id));
   }
   for (std::size_t id = 0; id < grid.zone_count(); ++id) {
-    clouds_.emplace_back(zone_truths_[id], nc_config, rng);
+    NanoCloudConfig zone_config = nc_config;
+    zone_config.zone_id = static_cast<std::uint32_t>(id);
+    clouds_.emplace_back(zone_truths_[id], zone_config, rng);
   }
 }
 
@@ -48,12 +50,21 @@ RegionalResult LocalCloud::gather(const std::vector<ZoneDecision>& decisions,
       field::SpatialField(grid_.field_width(), grid_.field_height());
   out.zone_nrmse.resize(clouds_.size(), 0.0);
 
+  // One regional round = one fault round: churn and crash windows evolve
+  // here, not per zone, so every zone sees the same fault epoch.
+  if (!clouds_.empty() && clouds_.front().config().injector != nullptr) {
+    clouds_.front().config().injector->begin_round();
+  }
+
   for (std::size_t id = 0; id < clouds_.size(); ++id) {
     auto res = clouds_[id].gather(std::max<std::size_t>(budget[id], 1), rng);
     out.total_measurements += res.m_used;
     out.node_energy_j += res.node_energy_j;
     out.stats += res.stats;
     out.zone_nrmse[id] = res.nrmse;
+    if (res.failed_over) ++out.failovers;
+    if (res.degraded) ++out.degraded_zones;
+    out.outliers_rejected += res.outliers_rejected;
     grid_.insert(out.reconstruction, id, res.reconstruction);
 
     // Uplink: the NC broker ships its support coefficients to the head.

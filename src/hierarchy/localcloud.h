@@ -25,13 +25,18 @@ struct RegionalResult {
   double node_energy_j = 0.0;           ///< summed phone energy
   middleware::GatherStats stats;        ///< summed NC gather stats
   std::vector<double> zone_nrmse;       ///< per-zone error map (Fig. 5)
+  std::size_t failovers = 0;            ///< zones served by a stand-in broker
+  std::size_t degraded_zones = 0;       ///< zones flagged degraded this round
+  std::size_t outliers_rejected = 0;    ///< readings screened by MAD, summed
 };
 
 /// A LocalCloud over a regional ground-truth field partitioned by a
 /// ZoneGrid, one NanoCloud per zone.
 class LocalCloud {
  public:
-  /// Builds one NC per zone.  `truth` must outlive the cloud.
+  /// Builds one NC per zone.  `truth` must outlive the cloud.  Each zone's
+  /// NanoCloud gets `nc_config` with zone_id overridden to its zone index,
+  /// so a FaultPlan CrashWindow targets zones by that index.
   LocalCloud(const field::SpatialField& truth, const field::ZoneGrid& grid,
              const NanoCloudConfig& nc_config, Rng& rng,
              sim::LinkModel uplink = sim::LinkModel::of(sim::RadioKind::kWiFi));
@@ -45,7 +50,10 @@ class LocalCloud {
   /// ids must cover 0..Z-1 exactly); throws std::invalid_argument
   /// otherwise.  Uplink traffic models each NC broker shipping its
   /// support coefficients (16 B per coefficient: index + value) plus a
-  /// 32 B header to the head broker.
+  /// 32 B header to the head broker.  When the NC config carries a fault
+  /// injector, each regional round advances it one fault round
+  /// (FaultInjector::begin_round) before gathering — standalone NanoCloud
+  /// drivers must advance the injector themselves.
   RegionalResult gather(const std::vector<ZoneDecision>& decisions, Rng& rng);
 
   /// Convenience: uniform budget per zone (the Luo-style non-adaptive

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "cs/measurement.h"
 #include "linalg/vector_ops.h"
@@ -43,6 +44,13 @@ NanoCloud::NanoCloud(const field::SpatialField& truth,
   if (config.battery_capacity_j < 0.0) {
     throw std::invalid_argument("NanoCloud: negative battery capacity");
   }
+  broker_.set_retry_policy(config_.retry);  // validates; throws when bad
+  broker_.set_fault_injector(config_.injector);
+
+  // Battery sabotage applies to phones only: backfill sensors are
+  // mains-powered infrastructure.
+  const bool battery_sabotage = config_.injector != nullptr &&
+                                config_.injector->plan().battery.enabled();
 
   cell_to_node_.assign(truth.size(), kNpos);
   const auto flat = truth.flat();
@@ -60,9 +68,13 @@ NanoCloud::NanoCloud(const field::SpatialField& truth,
     const sim::Point pos{
         (static_cast<double>(coord.j) + 0.5) * config.cell_m,
         (static_cast<double>(coord.i) + 0.5) * config.cell_m};
+    const double capacity_j =
+        (battery_sabotage && !backfill)
+            ? config_.injector->plan().battery.capacity_override_j
+            : config.battery_capacity_j;
     middleware::MobileNode node(next_id++, pos,
                                 sim::LinkModel::of(sim::RadioKind::kWiFi),
-                                sim::Battery(config.battery_capacity_j));
+                                sim::Battery(capacity_j));
     if (!backfill && rng.bernoulli(config.opt_out_fraction)) {
       node.policy().set_opted_out(true);
     }
@@ -71,9 +83,17 @@ NanoCloud::NanoCloud(const field::SpatialField& truth,
     const auto tier = backfill ? sensing::QualityTier::kFlagship
                                : kTiers[rng.uniform_index(3)];
     const double value = flat[cell];
-    node.add_sensor(sensing::SimulatedSensor(
+    sensing::SimulatedSensor sensor(
         config.sensor, tier, [value](std::size_t) { return value; },
-        rng.next_u64()));
+        rng.next_u64());
+    // Phone sensors can be defective (stuck/drifting/spiking) per the
+    // fault plan; maintained infrastructure hardware stays healthy.
+    if (!backfill && config_.injector != nullptr) {
+      auto hook = config_.injector->sensor_hook(node.id(),
+                                                sensor.noise_sigma());
+      if (hook) sensor.set_read_hook(std::move(hook));
+    }
+    node.add_sensor(std::move(sensor));
     broker_.enroll(node);
     cell_to_node_[cell] = nodes_.size();
     covered_.push_back(cell);
@@ -85,6 +105,7 @@ GatherResult NanoCloud::gather(std::size_t m, Rng& rng) {
   if (m == 0) {
     throw std::invalid_argument("NanoCloud::gather: m must be positive");
   }
+  obs::ScopedSpan span("hier.nanocloud.gather");
   m = std::min(m, covered_.size());
   // Random spatial sampling over covered cells.
   std::vector<std::size_t> picked_idx =
@@ -92,37 +113,128 @@ GatherResult NanoCloud::gather(std::size_t m, Rng& rng) {
   std::vector<std::size_t> cells;
   cells.reserve(m);
   for (std::size_t i : picked_idx) cells.push_back(covered_[i]);
-  return reconstruct_from(cells, rng, /*compressive=*/true);
+
+  GatherResult out;
+  out.m_requested = m;
+
+  // Failover: when the fault plan has crashed this zone's broker, a
+  // member node is promoted to stand-in head for the round.
+  middleware::Broker* head = &broker_;
+  std::optional<middleware::Broker> standin;
+  if (config_.injector != nullptr &&
+      config_.injector->broker_down(config_.zone_id)) {
+    middleware::MobileNode* promoted = elect_standin(out);
+    if (promoted == nullptr) {
+      // Nobody can take over: the round is lost entirely.
+      return reconstruct_readings({}, std::move(out), /*compressive=*/true);
+    }
+    standin.emplace(kBrokerId + promoted->id(), promoted->position(),
+                    promoted->link());
+    standin->set_retry_policy(config_.retry);
+    standin->set_fault_injector(config_.injector);
+    head = &*standin;
+    out.failed_over = true;
+    out.degraded = true;
+  }
+
+  auto readings = collect_cells(*head, cells, rng, out);
+
+  // Top-up: replace silent cells with fresh covered cells until the
+  // budget is met, the round allowance runs out, or the pool drains.
+  if (config_.topup_rounds > 0 && readings.size() < m) {
+    std::vector<char> tried(covered_.size(), 0);
+    for (std::size_t i : picked_idx) tried[i] = 1;
+    for (std::size_t round = 0;
+         round < config_.topup_rounds && readings.size() < m; ++round) {
+      std::vector<std::size_t> pool;
+      for (std::size_t i = 0; i < covered_.size(); ++i) {
+        if (!tried[i]) pool.push_back(i);
+      }
+      if (pool.empty()) break;
+      const std::size_t deficit =
+          std::min(m - readings.size(), pool.size());
+      std::vector<std::size_t> extra_sel =
+          rng.sample_without_replacement(pool.size(), deficit);
+      std::vector<std::size_t> extra_cells;
+      extra_cells.reserve(deficit);
+      for (std::size_t j : extra_sel) {
+        tried[pool[j]] = 1;
+        extra_cells.push_back(covered_[pool[j]]);
+      }
+      const auto extra = collect_cells(*head, extra_cells, rng, out);
+      out.stats.topup_requests += extra_cells.size();
+      out.stats.topup_replies += extra.size();
+      if (obs::attached()) {
+        obs::add_counter("mw.topup.requests",
+                         static_cast<double>(extra_cells.size()));
+        obs::add_counter("mw.topup.replies",
+                         static_cast<double>(extra.size()));
+      }
+      readings.insert(readings.end(), extra.begin(), extra.end());
+    }
+  }
+
+  return reconstruct_readings(readings, std::move(out),
+                              /*compressive=*/true);
 }
 
 GatherResult NanoCloud::gather_dense(Rng& rng) {
-  return reconstruct_from(covered_, rng, /*compressive=*/false);
-}
-
-GatherResult NanoCloud::reconstruct_from(
-    const std::vector<std::size_t>& cells, Rng& rng, bool compressive) {
   obs::ScopedSpan span("hier.nanocloud.gather");
   GatherResult out;
-  out.m_requested = cells.size();
+  out.m_requested = covered_.size();
+  const auto readings = collect_cells(broker_, covered_, rng, out);
+  return reconstruct_readings(readings, std::move(out),
+                              /*compressive=*/false);
+}
 
-  // Telemetry: command the node on each selected cell.
+std::vector<middleware::Reading> NanoCloud::collect_cells(
+    middleware::Broker& head, const std::vector<std::size_t>& cells,
+    Rng& rng, GatherResult& out) {
   std::vector<middleware::MobileNode*> targets;
   targets.reserve(cells.size());
   for (std::size_t cell : cells) {
     targets.push_back(&nodes_[cell_to_node_[cell]]);
   }
   const double node_energy_before = total_node_energy_j();
-  const auto readings = broker_.collect(targets, config_.sensor,
-                                        /*sample_index=*/0, rng, &out.stats);
-  out.node_energy_j = total_node_energy_j() - node_energy_before;
-  out.m_used = readings.size();
+  auto readings = head.collect(targets, config_.sensor,
+                               /*sample_index=*/0, rng, &out.stats);
+  out.node_energy_j += total_node_energy_j() - node_energy_before;
+  out.m_used += readings.size();
   if (obs::attached()) {
-    obs::add_counter("hier.nanocloud.rounds");
     obs::add_counter("hier.nanocloud.nodes_commanded",
                      static_cast<double>(cells.size()));
     obs::add_counter("hier.nanocloud.replies",
-                     static_cast<double>(out.m_used));
+                     static_cast<double>(readings.size()));
   }
+  return readings;
+}
+
+middleware::MobileNode* NanoCloud::elect_standin(GatherResult& out) {
+  for (auto& cand : nodes_) {
+    if (cand.policy().opted_out()) continue;
+    if (cand.battery().depleted()) continue;
+    if (config_.injector != nullptr &&
+        !config_.injector->node_present(cand.id())) {
+      continue;
+    }
+    // Election broadcast: the stand-in announces itself to every member
+    // (one command-sized frame each) before the round proceeds.
+    const std::size_t announce = nodes_.size();
+    for (std::size_t j = 0; j < announce; ++j) {
+      cand.pay_tx(middleware::Broker::kCommandBytes);
+    }
+    out.stats.bytes_transferred +=
+        middleware::Broker::kCommandBytes * announce;
+    if (obs::attached()) obs::add_counter("fault.failover.promotions");
+    return &cand;
+  }
+  return nullptr;  // every member is gone, dead, or opted out
+}
+
+GatherResult NanoCloud::reconstruct_readings(
+    const std::vector<middleware::Reading>& readings, GatherResult out,
+    bool compressive) {
+  if (obs::attached()) obs::add_counter("hier.nanocloud.rounds");
 
   // Build the measurement from the cells whose readings survived.
   // Readings come back in command order; map node -> cell.
@@ -169,6 +281,8 @@ GatherResult NanoCloud::reconstruct_from(
     const auto res = cs::chs_reconstruct(basis_, meas, config_.chs);
     full = res.reconstruction;
     out.support_size = res.support.size();
+    out.outliers_rejected = res.outliers_rejected;
+    if (res.degraded) out.degraded = true;
   } else {
     // Dense baseline: no model, just interpolate the raw readings onto
     // the grid.

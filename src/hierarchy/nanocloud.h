@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "cs/chs.h"
+#include "fault/fault.h"
+#include "fault/retry.h"
 #include "field/spatial_field.h"
 #include "linalg/basis.h"
 #include "linalg/random.h"
@@ -53,6 +56,22 @@ struct NanoCloudConfig {
   /// Fraction of phones whose owners opt out of sharing entirely
   /// (Section 5 privacy posture); they exist but refuse every command.
   double opt_out_fraction = 0.0;
+  /// Zone identity for fault scheduling (CrashWindow::zone); LocalCloud
+  /// assigns each member NC its zone index.
+  std::uint32_t zone_id = 0;
+  /// Non-owning fault injector; when set, the broker layers its link
+  /// bursts/churn onto the radio, phone sensors get its defect hooks
+  /// (infrastructure backfill stays healthy — it is maintained hardware),
+  /// batteries honor its capacity override, and gather() fails over to a
+  /// promoted member when the injector crashes this zone's broker.  Must
+  /// outlive the cloud.  nullptr = no faults (seed behavior).
+  fault::FaultInjector* injector = nullptr;
+  /// Retry/timeout/energy-skip policy for every gather round.
+  fault::RetryPolicy retry{};
+  /// Top-up: when replies fall short of the requested m, gather() asks up
+  /// to this many extra mini-rounds of replacement cells (fresh covered
+  /// cells not yet commanded this round).  0 = off (seed behavior).
+  std::size_t topup_rounds = 0;
 };
 
 /// Outcome of one gathering round.
@@ -64,6 +83,9 @@ struct GatherResult {
   middleware::GatherStats stats;     ///< radio/energy accounting
   double node_energy_j = 0.0;        ///< summed phone energy this round
   std::size_t support_size = 0;      ///< |J| of the CHS solution
+  std::size_t outliers_rejected = 0; ///< readings screened by MAD
+  bool failed_over = false;          ///< round ran through a stand-in broker
+  bool degraded = false;             ///< failover or MAD screening engaged
 };
 
 /// One NanoCloud over one ground-truth zone.
@@ -96,8 +118,21 @@ class NanoCloud {
   double total_node_energy_j() const noexcept;
 
  private:
-  GatherResult reconstruct_from(const std::vector<std::size_t>& cells,
-                                Rng& rng, bool compressive);
+  /// Telemeters the nodes on `cells` through `head`, accumulating stats
+  /// and node energy into `out`.
+  std::vector<middleware::Reading> collect_cells(
+      middleware::Broker& head, const std::vector<std::size_t>& cells,
+      Rng& rng, GatherResult& out);
+
+  /// CHS (or dense-interpolation) reconstruction from gathered readings.
+  GatherResult reconstruct_readings(
+      const std::vector<middleware::Reading>& readings, GatherResult out,
+      bool compressive);
+
+  /// Elects the first live, present, willing member as stand-in head
+  /// when the injector has crashed this zone's broker; charges the
+  /// election broadcast to `out`.  nullptr when nobody can take over.
+  middleware::MobileNode* elect_standin(GatherResult& out);
 
   const field::SpatialField* truth_;
   NanoCloudConfig config_;

@@ -1,15 +1,31 @@
 #include "middleware/broker.h"
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/event_sim.h"
 
 namespace sensedroid::middleware {
+
+// Tripwire for the accumulator below: adding a GatherStats field without
+// teaching operator+= about it would silently drop per-round counts.
+// When this fires, extend operator+= (and the obs counters in collect())
+// first, then update the expected size.
+static_assert(sizeof(GatherStats) ==
+                  11 * sizeof(std::size_t) + sizeof(double),
+              "GatherStats changed: update operator+= and collect() metrics");
 
 GatherStats& GatherStats::operator+=(const GatherStats& rhs) noexcept {
   commands_sent += rhs.commands_sent;
   replies_received += rhs.replies_received;
   radio_failures += rhs.radio_failures;
   node_refusals += rhs.node_refusals;
+  retries += rhs.retries;
+  retry_recovered += rhs.retry_recovered;
+  deadline_skips += rhs.deadline_skips;
+  battery_skips += rhs.battery_skips;
+  topup_requests += rhs.topup_requests;
+  topup_replies += rhs.topup_replies;
   bytes_transferred += rhs.bytes_transferred;
   broker_energy_j += rhs.broker_energy_j;
   return *this;
@@ -17,6 +33,11 @@ GatherStats& GatherStats::operator+=(const GatherStats& rhs) noexcept {
 
 Broker::Broker(NodeId id, sim::Point position, sim::LinkModel link)
     : id_(id), position_(position), link_(link), queries_(store_) {}
+
+void Broker::set_retry_policy(const fault::RetryPolicy& policy) {
+  policy.validate();
+  retry_ = policy;
+}
 
 bool Broker::enroll(const MobileNode& node) {
   const auto caps = node.advertise();
@@ -34,47 +55,95 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
   GatherStats local;
   std::vector<Reading> readings;
   readings.reserve(nodes.size());
+  const double deadline = retry_.round_deadline_s;
+  double elapsed_s = 0.0;  // virtual time this round: transfers + backoff
 
   for (MobileNode* node : nodes) {
     if (node == nullptr) continue;
+    if (deadline > 0.0 && elapsed_s >= deadline) {
+      // Round budget exhausted: remaining nodes go untelemetered rather
+      // than blowing the campaign's timing contract.
+      ++local.deadline_skips;
+      continue;
+    }
     const double dist = sim::distance(position_, node->position());
+    // Churned-out nodes never hear the command; presence is fixed for
+    // the round, so retries against an absent node are futile but cheap
+    // honesty — the broker cannot know why nobody answered.
+    const bool present =
+        injector_ == nullptr || injector_->node_present(node->id());
 
-    // Command leg: broker TX, node RX.
-    ++local.commands_sent;
-    const double cmd_e = link_.tx_energy_j(kCommandBytes);
-    meter_.add(sim::EnergyCategory::kTx, cmd_e);
-    local.broker_energy_j += cmd_e;
-    local.bytes_transferred += kCommandBytes;
-    if (!link_.delivery_succeeds(dist, rng)) {
-      ++local.radio_failures;
-      continue;
+    double backoff = 0.0;
+    for (std::size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        if (node->battery().state_of_charge() < retry_.min_retry_soc) {
+          ++local.battery_skips;
+          break;
+        }
+        backoff = retry_.next_backoff_s(backoff, rng);
+        elapsed_s += backoff;
+        if (deadline > 0.0 && elapsed_s >= deadline) {
+          ++local.deadline_skips;
+          break;
+        }
+        ++local.retries;
+      }
+
+      // Command leg: broker TX, node RX.
+      ++local.commands_sent;
+      const double cmd_e = link_.tx_energy_j(kCommandBytes);
+      meter_.add(sim::EnergyCategory::kTx, cmd_e);
+      local.broker_energy_j += cmd_e;
+      local.bytes_transferred += kCommandBytes;
+      elapsed_s += link_.transfer_time_s(kCommandBytes);
+      // A burst-forced drop replaces the distance draw (the channel is
+      // gone regardless of geometry); otherwise the usual distance loss
+      // applies, so a benign injector changes no Rng stream.
+      const bool cmd_burst_drop =
+          injector_ != nullptr && injector_->link_attempt_drops();
+      if (cmd_burst_drop || !present || !link_.delivery_succeeds(dist, rng)) {
+        ++local.radio_failures;
+        continue;  // next attempt, if any
+      }
+      node->pay_rx(kCommandBytes);
+
+      // Local measurement on the node.  Refusals (privacy, missing
+      // sensor, dead battery) are permanent — retrying cannot help.
+      const auto value = node->measure(kind, sample_index);
+      if (!value.has_value()) {
+        ++local.node_refusals;
+        break;
+      }
+
+      // Reply leg: node TX, broker RX.
+      node->pay_tx(kReplyBytes);
+      local.bytes_transferred += kReplyBytes;
+      elapsed_s += node->link().transfer_time_s(kReplyBytes);
+      const bool reply_burst_drop =
+          injector_ != nullptr && injector_->link_attempt_drops();
+      if (reply_burst_drop || !node->link().delivery_succeeds(dist, rng)) {
+        ++local.radio_failures;
+        continue;
+      }
+      const double rx_e = link_.rx_energy_j(kReplyBytes);
+      meter_.add(sim::EnergyCategory::kRx, rx_e);
+      local.broker_energy_j += rx_e;
+
+      ++local.replies_received;
+      if (attempt > 0) ++local.retry_recovered;
+      readings.push_back(Reading{
+          node->id(), *value, node->sensor_sigma(kind).value_or(0.0)});
+      // Ingest through the query service so standing filters fire as data
+      // arrives (and the record lands in the store).
+      queries_.ingest(Record{node->id(), kind, timestamp, *value});
+      break;
     }
-    node->pay_rx(kCommandBytes);
+  }
 
-    // Local measurement on the node.
-    const auto value = node->measure(kind, sample_index);
-    if (!value.has_value()) {
-      ++local.node_refusals;
-      continue;
-    }
-
-    // Reply leg: node TX, broker RX.
-    node->pay_tx(kReplyBytes);
-    local.bytes_transferred += kReplyBytes;
-    if (!node->link().delivery_succeeds(dist, rng)) {
-      ++local.radio_failures;
-      continue;
-    }
-    const double rx_e = link_.rx_energy_j(kReplyBytes);
-    meter_.add(sim::EnergyCategory::kRx, rx_e);
-    local.broker_energy_j += rx_e;
-
-    ++local.replies_received;
-    readings.push_back(Reading{
-        node->id(), *value, node->sensor_sigma(kind).value_or(0.0)});
-    // Ingest through the query service so standing filters fire as data
-    // arrives (and the record lands in the store).
-    queries_.ingest(Record{node->id(), kind, timestamp, *value});
+  last_round_s_ = elapsed_s;
+  if (sim_ != nullptr) {
+    // Book the round's virtual duration onto the campaign clock.
+    sim_->run_until(sim_->now() + elapsed_s);
   }
 
   if (stats != nullptr) *stats += local;
@@ -90,6 +159,24 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
                      static_cast<double>(local.node_refusals));
     obs::add_counter("mw.broker.bytes",
                      static_cast<double>(local.bytes_transferred));
+    // Retry/deadline series only appear once resilience is in play, so
+    // un-faulted runs export the exact seed metric set.
+    if (local.retries > 0) {
+      obs::add_counter("mw.retry.attempts",
+                       static_cast<double>(local.retries));
+    }
+    if (local.retry_recovered > 0) {
+      obs::add_counter("mw.retry.recovered",
+                       static_cast<double>(local.retry_recovered));
+    }
+    if (local.deadline_skips > 0) {
+      obs::add_counter("mw.retry.deadline_skips",
+                       static_cast<double>(local.deadline_skips));
+    }
+    if (local.battery_skips > 0) {
+      obs::add_counter("mw.retry.battery_skips",
+                       static_cast<double>(local.battery_skips));
+    }
     // Store depth doubles as the broker's ingest-queue gauge: every
     // reading lands there before dissemination drains downstream.
     obs::set_gauge("mw.broker.queue_depth",

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/retry.h"
 #include "linalg/random.h"
 #include "middleware/datastore.h"
 #include "middleware/discovery.h"
@@ -18,14 +19,33 @@
 #include "middleware/query.h"
 #include "sim/radio.h"
 
+namespace sensedroid::fault {
+class FaultInjector;
+}  // namespace sensedroid::fault
+
+namespace sensedroid::sim {
+class Simulator;
+}  // namespace sensedroid::sim
+
 namespace sensedroid::middleware {
 
 /// Message/energy accounting of one gathering round.
+///
+/// Every field must be accumulated by operator+= — a static_assert in
+/// broker.cpp pins sizeof(GatherStats) so adding a field without
+/// extending the accumulator fails the build instead of silently
+/// dropping counts.
 struct GatherStats {
   std::size_t commands_sent = 0;
   std::size_t replies_received = 0;
   std::size_t radio_failures = 0;   ///< lost commands or replies
   std::size_t node_refusals = 0;    ///< privacy/battery/absent-sensor
+  std::size_t retries = 0;          ///< command attempts beyond the first
+  std::size_t retry_recovered = 0;  ///< readings obtained on a retry
+  std::size_t deadline_skips = 0;   ///< nodes/retries dropped by the deadline
+  std::size_t battery_skips = 0;    ///< retries withheld from low-SoC nodes
+  std::size_t topup_requests = 0;   ///< replacement cells commanded by top-up
+  std::size_t topup_replies = 0;    ///< readings recovered by top-up
   std::size_t bytes_transferred = 0;
   double broker_energy_j = 0.0;     ///< broker-side radio energy
 
@@ -80,6 +100,28 @@ class Broker {
   void disseminate(std::span<const Reading> readings,
                    sensing::SensorKind kind, double timestamp);
 
+  /// Retry/timeout policy applied by collect().  The default (one
+  /// attempt, no deadline) is the seed's one-shot behavior.  Throws
+  /// std::invalid_argument on an invalid policy.
+  void set_retry_policy(const fault::RetryPolicy& policy);
+  const fault::RetryPolicy& retry_policy() const noexcept { return retry_; }
+
+  /// Attaches (or detaches, with nullptr) a fault injector: collect()
+  /// then layers its bursty-link drops and churn absences onto the
+  /// distance loss.  Non-owning; the injector must outlive the broker.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const noexcept { return injector_; }
+
+  /// Optional event-sim clock: when set, collect() advances it by the
+  /// round's accumulated virtual duration (transfer times + retry
+  /// backoff), so campaign timelines include resilience overhead.
+  void set_simulator(sim::Simulator* sim) noexcept { sim_ = sim; }
+
+  /// Virtual seconds consumed by the most recent collect() round.
+  double last_round_virtual_s() const noexcept { return last_round_s_; }
+
  private:
   NodeId id_;
   sim::Point position_;
@@ -89,6 +131,10 @@ class Broker {
   QueryService queries_;
   PubSubBus bus_;
   sim::EnergyMeter meter_;
+  fault::RetryPolicy retry_;
+  fault::FaultInjector* injector_ = nullptr;
+  sim::Simulator* sim_ = nullptr;
+  double last_round_s_ = 0.0;
 };
 
 }  // namespace sensedroid::middleware

@@ -157,7 +157,9 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
 }
 
 std::optional<Message> decode_message(std::span<const std::uint8_t> frame) {
-  if (frame.size() < 4) return std::nullopt;
+  if (frame.size() < kMinFrameBytes || frame.size() > kMaxFrameBytes) {
+    return std::nullopt;
+  }
   const std::size_t body_len = frame.size() - 4;
   // Verify the trailer first: cheap rejection of corrupt frames.
   std::uint32_t stored = 0;

@@ -20,6 +20,14 @@
 
 namespace sensedroid::middleware {
 
+/// Decode-side frame envelope: the smallest well-formed frame is an
+/// empty-topic message with an empty vector/string payload (2 + 4 + 8 +
+/// 1 + 4 body bytes + 4 CRC); anything shorter is truncation.  The upper
+/// bound rejects absurd length claims before any allocation — honest
+/// traffic in this system is tens of bytes.
+inline constexpr std::size_t kMinFrameBytes = 23;
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
 /// CRC-32 (IEEE 802.3 polynomial) of a byte span.
 std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
 
@@ -27,8 +35,11 @@ std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
 /// Throws std::invalid_argument when the topic exceeds 65535 bytes.
 std::vector<std::uint8_t> encode_message(const Message& msg);
 
-/// Parses a frame; returns nullopt when the frame is truncated,
-/// malformed, or fails the CRC — the caller treats it as a radio loss.
+/// Parses a frame; returns nullopt when the frame is outside the
+/// [kMinFrameBytes, kMaxFrameBytes] envelope, truncated, malformed, or
+/// fails the CRC — the caller treats it as a radio loss.  Never throws
+/// and never fabricates a message from corrupt bytes: every multi-byte
+/// read is bounds-checked and the CRC is verified before parsing.
 std::optional<Message> decode_message(std::span<const std::uint8_t> frame);
 
 }  // namespace sensedroid::middleware

@@ -89,6 +89,18 @@ RunReport RunReport::from_registry(const MetricsRegistry& reg,
   r.zones_gathered = reg.counter_sum("hier.localcloud.zones_gathered");
   r.uplink_bytes = reg.counter_sum("hier.localcloud.uplink_bytes");
 
+  r.fault_link_drops = reg.counter_sum("fault.link.drops");
+  r.fault_link_bursts = reg.counter_sum("fault.link.bursts");
+  r.fault_churn_absences = reg.counter_sum("fault.churn.absent");
+  r.fault_sensor_spikes = reg.counter_sum("fault.sensor.spikes");
+  r.fault_crashed_rounds = reg.counter_sum("fault.broker.crashed_rounds");
+  r.failover_promotions = reg.counter_sum("fault.failover.promotions");
+  r.retry_attempts = reg.counter_sum("mw.retry.attempts");
+  r.retry_recovered = reg.counter_sum("mw.retry.recovered");
+  r.topup_requests = reg.counter_sum("mw.topup.requests");
+  r.topup_replies = reg.counter_sum("mw.topup.replies");
+  r.outliers_rejected = reg.counter_sum("cs.chs.outliers_rejected");
+
   r.metrics_json = reg.to_json();
   return r;
 }
@@ -125,6 +137,17 @@ std::string RunReport::to_json() const {
          ",\"nodes_commanded\":" + num(nodes_commanded) +
          ",\"zones_gathered\":" + num(zones_gathered) +
          ",\"uplink_bytes\":" + num(uplink_bytes) + '}';
+  out += ",\"fault\":{\"link_drops\":" + num(fault_link_drops) +
+         ",\"link_bursts\":" + num(fault_link_bursts) +
+         ",\"churn_absences\":" + num(fault_churn_absences) +
+         ",\"sensor_spikes\":" + num(fault_sensor_spikes) +
+         ",\"crashed_broker_rounds\":" + num(fault_crashed_rounds) +
+         ",\"failover_promotions\":" + num(failover_promotions) +
+         ",\"retry_attempts\":" + num(retry_attempts) +
+         ",\"retry_recovered\":" + num(retry_recovered) +
+         ",\"topup_requests\":" + num(topup_requests) +
+         ",\"topup_replies\":" + num(topup_replies) +
+         ",\"outliers_rejected\":" + num(outliers_rejected) + '}';
   out += ",\"reconstruction_error\":" + num(reconstruction_error);
   out += ",\"metrics\":" +
          (metrics_json.empty() ? std::string("{}") : metrics_json);
@@ -152,6 +175,19 @@ std::string RunReport::summary() const {
      << "  hierarchy:  " << gather_rounds << " gathers, "
      << nodes_commanded << " nodes commanded, " << zones_gathered
      << " zones, " << uplink_bytes << " uplink B\n";
+  const double injected = fault_link_drops + fault_churn_absences +
+                          fault_sensor_spikes + fault_crashed_rounds;
+  const double recovered = retry_recovered + topup_replies +
+                           failover_promotions + outliers_rejected;
+  if (injected > 0.0 || recovered > 0.0 || retry_attempts > 0.0) {
+    os << "  fault:      " << injected << " injected ("
+       << fault_link_drops << " link drops, " << fault_churn_absences
+       << " churn absences, " << fault_sensor_spikes << " spikes, "
+       << fault_crashed_rounds << " crashed rounds) vs " << recovered
+       << " recovered (" << retry_recovered << " by retry, "
+       << topup_replies << " by top-up, " << failover_promotions
+       << " failovers, " << outliers_rejected << " outliers screened)\n";
+  }
   if (reconstruction_error >= 0.0) {
     os << "  reconstruction error: " << reconstruction_error << "\n";
   }

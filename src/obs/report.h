@@ -64,6 +64,20 @@ struct RunReport {
   double zones_gathered = 0.0;
   double uplink_bytes = 0.0;
 
+  // fault layer — injected faults vs recovery actions.  All zero when no
+  // injector/retry policy is in play.
+  double fault_link_drops = 0.0;       ///< fault.link.drops
+  double fault_link_bursts = 0.0;      ///< fault.link.bursts
+  double fault_churn_absences = 0.0;   ///< fault.churn.absent
+  double fault_sensor_spikes = 0.0;    ///< fault.sensor.spikes
+  double fault_crashed_rounds = 0.0;   ///< fault.broker.crashed_rounds
+  double failover_promotions = 0.0;    ///< fault.failover.promotions
+  double retry_attempts = 0.0;         ///< mw.retry.attempts
+  double retry_recovered = 0.0;        ///< mw.retry.recovered
+  double topup_requests = 0.0;         ///< mw.topup.requests
+  double topup_replies = 0.0;          ///< mw.topup.replies
+  double outliers_rejected = 0.0;      ///< cs.chs.outliers_rejected
+
   /// epsilon = epsilon_a + epsilon_c + epsilon_m: set by the campaign
   /// driver, which is the only place ground truth exists.  < 0 = unset.
   double reconstruction_error = -1.0;

@@ -77,7 +77,9 @@ double SimulatedSensor::read(std::size_t index, sim::EnergyMeter* meter) {
   if (meter != nullptr) {
     meter->add(sim::EnergyCategory::kSensing, sample_cost_j(kind_));
   }
-  return truth_(index) + noise_rng_.gaussian(0.0, sigma_);
+  double v = truth_(index) + noise_rng_.gaussian(0.0, sigma_);
+  if (hook_) v = hook_(index, v);
+  return v;
 }
 
 }  // namespace sensedroid::sensing

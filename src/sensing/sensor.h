@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "linalg/random.h"
 #include "sim/energy.h"
@@ -56,6 +57,13 @@ double nominal_noise_sigma(SensorKind kind) noexcept;
 /// One simulated physical sensor on one device.
 class SimulatedSensor {
  public:
+  /// Post-read transform applied to every read() result — the seam fault
+  /// injection uses to model stuck-at, drifting, or spiking hardware
+  /// without this layer knowing about fault plans.  Receives the sample
+  /// index and the clean (truth + noise) value; returns what the device
+  /// actually reports.
+  using ReadHook = std::function<double(std::size_t index, double value)>;
+
   /// `truth` maps a sample index to the ground-truth value.  Throws
   /// std::invalid_argument when truth is empty.
   SimulatedSensor(SensorKind kind, QualityTier tier,
@@ -68,9 +76,14 @@ class SimulatedSensor {
   /// Effective noise standard deviation of this unit (nominal x tier).
   double noise_sigma() const noexcept { return sigma_; }
 
-  /// Reads sample `index`: truth(index) + N(0, sigma).  Charges the
-  /// sensing cost to `meter` when provided.
+  /// Reads sample `index`: truth(index) + N(0, sigma), then the read
+  /// hook when installed.  Charges the sensing cost to `meter` when
+  /// provided (a faulty sensor still burns the joules).
   double read(std::size_t index, sim::EnergyMeter* meter = nullptr);
+
+  /// Installs (or clears, with an empty function) the read hook.
+  void set_read_hook(ReadHook hook) { hook_ = std::move(hook); }
+  bool has_read_hook() const noexcept { return static_cast<bool>(hook_); }
 
   /// Ground truth without noise or cost (for scoring).
   double truth(std::size_t index) const { return truth_(index); }
@@ -81,6 +94,7 @@ class SimulatedSensor {
   std::function<double(std::size_t)> truth_;
   double sigma_;
   Rng noise_rng_;
+  ReadHook hook_;
 };
 
 }  // namespace sensedroid::sensing

@@ -52,7 +52,11 @@ double LinkModel::rx_energy_j(std::size_t bytes) const noexcept {
 }
 
 double LinkModel::delivery_probability(double dist) const noexcept {
-  if (dist > range_m) return 0.0;
+  // The range edge is inclusive: at dist == range_m the ramp below lands
+  // on loss == 1 exactly, and anything at or past the edge never
+  // delivers.  Spelled out as >= so the boundary is policy, not a
+  // floating-point accident of the polynomial.
+  if (dist >= range_m || range_m <= 0.0) return 0.0;
   const double frac = std::clamp(dist / range_m, 0.0, 1.0);
   // Loss stays near the base rate across most of the cell and ramps
   // sharply at the range edge (link-budget knee), matching measured

@@ -54,12 +54,16 @@ struct LinkModel {
   /// Receiver-side energy for `bytes`.
   double rx_energy_j(std::size_t bytes) const noexcept;
 
-  /// True when a transmission over `dist` meters succeeds.  Loss rises
-  /// quadratically from base_loss to 1 at the range edge; beyond range the
-  /// link always fails.
+  /// True when a transmission over `dist` meters succeeds.  Loss ramps
+  /// from base_loss toward 1 along the frac^8 link-budget knee; the range
+  /// edge is *inclusive* — delivery probability is exactly 0 at
+  /// dist == range_m and everywhere beyond.  Always draws exactly one
+  /// Bernoulli from `rng`, even in the hopeless region, so plans that
+  /// include out-of-range nodes stay replayable.
   bool delivery_succeeds(double dist, Rng& rng) const;
 
   /// Probability of delivery at a distance (for analysis without a rng).
+  /// Monotone non-increasing in dist; 0 for every dist >= range_m.
   double delivery_probability(double dist) const noexcept;
 };
 

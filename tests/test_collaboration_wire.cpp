@@ -165,6 +165,63 @@ TEST(Wire, RejectsBadSensorTagAndTrailingBytes) {
   EXPECT_FALSE(mw::decode_message(frame).has_value());
 }
 
+TEST(Wire, ExhaustiveSingleBitCorpusNeverYieldsAMessage) {
+  // Every single-bit flip anywhere in the frame: CRC-32 detects all of
+  // them, so not one corrupt frame may parse into a fabricated reading.
+  const auto frame = mw::encode_message(
+      {"sensor/temperature", 3, 9.0,
+       mw::Record{3, sn::SensorKind::kTemperature, 9.0, 21.5}});
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = frame;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(mw::decode_message(corrupted).has_value())
+          << "flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Wire, RejectsFramesOutsideTheSizeEnvelope) {
+  // Below the minimum well-formed frame: rejected before any parsing.
+  std::vector<std::uint8_t> runt(mw::kMinFrameBytes - 1, 0x00);
+  EXPECT_FALSE(mw::decode_message(runt).has_value());
+  // Above the ceiling: rejected before the CRC pass touches 16 MiB.
+  std::vector<std::uint8_t> giant(mw::kMaxFrameBytes + 1, 0x5A);
+  EXPECT_FALSE(mw::decode_message(giant).has_value());
+}
+
+TEST(Wire, TruncationWithRefreshedCrcStillRejected) {
+  // An adversarially re-CRC'd truncation passes the checksum but must
+  // fall to the structural checks (reader bounds + exact-length rule).
+  const auto frame = mw::encode_message(
+      {"sensor/light", 4, 2.0, sl::Vector{1.0, 2.0, 3.0, 4.0}});
+  for (std::size_t cut = mw::kMinFrameBytes; cut < frame.size(); ++cut) {
+    std::vector<std::uint8_t> body(frame.begin(),
+                                   frame.begin() + (cut - 4));
+    const auto crc = mw::crc32(body);
+    for (int i = 0; i < 4; ++i) {
+      body.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    }
+    EXPECT_FALSE(mw::decode_message(body).has_value())
+        << "refreshed-CRC truncation at " << cut;
+  }
+}
+
+TEST(Wire, LengthFieldTamperingCannotOverRead) {
+  // Inflate the vector count field and refresh the CRC: the payload
+  // guard must catch the over-claim instead of reading past the frame.
+  auto frame = mw::encode_message({"v", 1, 0.0, sl::Vector{1.0, 2.0}});
+  // Layout: 2 (len) + 1 (topic "v") + 4 + 8 + 1 (tag) = count at offset 16.
+  frame[16] = 0xFF;
+  frame[17] = 0xFF;
+  std::vector<std::uint8_t> body(frame.begin(), frame.end() - 4);
+  const auto crc = mw::crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  EXPECT_FALSE(mw::decode_message(body).has_value());
+}
+
 TEST(Wire, EncodedSizeIsDeterministic) {
   const mw::Message msg{"abc", 1, 0.0, 2.0};
   EXPECT_EQ(mw::encode_message(msg).size(), mw::encode_message(msg).size());

@@ -149,6 +149,51 @@ TEST(Radio, DeliveryProbabilityDecaysWithDistance) {
   EXPECT_NEAR(near, 1.0 - wifi.base_loss, 0.01);
 }
 
+TEST(Radio, RangeEdgeIsInclusiveAndMonotone) {
+  // The boundary is pinned, not implied by the ramp: delivery probability
+  // is exactly 0 at dist == range_m, at the next representable double
+  // below it the ramp has already collapsed to ~0, and everywhere beyond
+  // it stays 0.
+  auto wifi = ss::LinkModel::of(ss::RadioKind::kWiFi);
+  EXPECT_DOUBLE_EQ(wifi.delivery_probability(wifi.range_m), 0.0);
+  const double just_inside =
+      std::nextafter(wifi.range_m, 0.0);
+  EXPECT_GE(wifi.delivery_probability(just_inside), 0.0);
+  EXPECT_LE(wifi.delivery_probability(just_inside), 1e-9);
+  EXPECT_DOUBLE_EQ(wifi.delivery_probability(wifi.range_m + 1e-9), 0.0);
+  EXPECT_DOUBLE_EQ(wifi.delivery_probability(1e18), 0.0);
+  // Monotone non-increasing across the whole domain, including the edge.
+  double prev = 1.0;
+  for (double d = 0.0; d <= wifi.range_m + 10.0; d += 0.5) {
+    const double p = wifi.delivery_probability(d);
+    EXPECT_LE(p, prev + 1e-15) << "at dist " << d;
+    prev = p;
+  }
+}
+
+TEST(Radio, DeliveryAtAndBeyondRangeAlwaysFailsButStillDraws) {
+  // At the inclusive edge and beyond, delivery never succeeds — but the
+  // draw still consumes exactly one Bernoulli so campaigns that include
+  // out-of-range nodes remain replayable.
+  auto wifi = ss::LinkModel::of(ss::RadioKind::kWiFi);
+  sl::Rng a(7), b(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(wifi.delivery_succeeds(wifi.range_m, a));
+    EXPECT_FALSE(wifi.delivery_succeeds(wifi.range_m * 2.0, a));
+  }
+  // Same number of draws from an identical twin keeps the streams level.
+  for (int i = 0; i < 400; ++i) b.bernoulli(0.5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Radio, ZeroOrNegativeRangeNeverDelivers) {
+  auto dead = ss::LinkModel::of(ss::RadioKind::kWiFi);
+  dead.range_m = 0.0;
+  EXPECT_DOUBLE_EQ(dead.delivery_probability(0.0), 0.0);
+  sl::Rng rng(3);
+  EXPECT_FALSE(dead.delivery_succeeds(0.0, rng));
+}
+
 TEST(Radio, DeliverySucceedsMatchesProbability) {
   auto wifi = ss::LinkModel::of(ss::RadioKind::kWiFi);
   sl::Rng rng(1);
