@@ -1,13 +1,13 @@
 // E17 — solver ablation: which sparse solver should a broker run?
 // OMP (the paper's eq. 13 recommendation), CoSaMP, normalized IHT, and
 // L1 basis pursuit via the simplex LP (eqs. 9-10), compared on exact
-// recovery rate and noise robustness at matched budgets.
+// recovery rate and noise robustness at matched budgets.  Every solver
+// is pulled from the SolverRegistry by name — this binary doubles as a
+// smoke test that the registry's adapters match the old free functions.
 #include <chrono>
 #include <cstdio>
 
-#include "cs/basis_pursuit.h"
-#include "cs/greedy_variants.h"
-#include "cs/omp.h"
+#include "cs/solver.h"
 #include "linalg/random.h"
 #include "linalg/vector_ops.h"
 
@@ -71,18 +71,20 @@ int main() {
   std::printf("%-14s %4s  %9s  %11s  %9s\n", "solver", "M", "exact",
               "noisy-err", "usec");
 
+  auto& registry = cs::SolverRegistry::global();
+  cs::SolveContext ctx;
+  ctx.sparsity = kK;
+
   for (std::size_t m : {20u, 28u, 40u}) {
-    report("omp", run([](const auto& a, const auto& y) {
-             return cs::omp_solve(a, y, {.max_sparsity = kK});
-           }, m), m);
-    report("cosamp", run([](const auto& a, const auto& y) {
-             return cs::cosamp_solve(a, y, {.sparsity = kK});
-           }, m), m);
-    report("niht", run([](const auto& a, const auto& y) {
-             return cs::iht_solve(a, y, {.sparsity = kK});
-           }, m), m);
-    report("bp-simplex", run([](const auto& a, const auto& y) {
-             auto sol = cs::basis_pursuit(a, y);
+    for (const char* name : {"omp", "cosamp", "niht"}) {
+      const auto solver = registry.create(name);
+      report(name, run([&](const auto& a, const auto& y) {
+               return solver->solve(a, y, ctx);
+             }, m), m);
+    }
+    const auto bp = registry.create("bp");
+    report("bp-simplex", run([&](const auto& a, const auto& y) {
+             auto sol = bp->solve(a, y, ctx);
              // BP has no K budget; truncate for a fair support metric.
              sol.coefficients =
                  linalg::hard_threshold(sol.coefficients, kK);

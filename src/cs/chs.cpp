@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "cs/least_squares.h"
+#include "cs/solver.h"
 #include "linalg/vector_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -232,6 +233,28 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
   obs::ScopedSpan span("cs.chs.reconstruct");
   obs::ScopedTimer timer("cs.chs.solve_us");
 
+  // Step (e)'s coefficient solver comes from the registry:
+  // `refit_solver` names it directly, the legacy Refit enum maps through
+  // as a shim.  Resolved once per call; the solver instance is stateless
+  // and reentrant.  Rank-deficient supports still fall back to a lightly
+  // regularized ridge fit instead of aborting the round.
+  const std::unique_ptr<SparseSolver> refit =
+      SolverRegistry::global().create(
+          !opts.refit_solver.empty()
+              ? std::string_view(opts.refit_solver)
+              : std::string_view(opts.refit == Refit::kGls ? "gls" : "ols"));
+  SolveContext refit_ctx;
+  if (meas.noise.size() == m) refit_ctx.noise_stddev = meas.noise.stddev;
+  refit_ctx.cancel = opts.cancel;
+  const auto refit_fit = [&](const Matrix& phi_k) {
+    try {
+      return refit->solve(phi_k, meas.values, refit_ctx).coefficients;
+    } catch (const std::runtime_error&) {
+      const double scale = std::max(phi_k.frobenius_norm(), 1e-12);
+      return solve_ridge(phi_k, meas.values, 1e-8 * scale * scale);
+    }
+  };
+
   const std::size_t k_budget = std::min(
       opts.max_support == 0 ? std::max<std::size_t>(m / 2, 1)
                             : opts.max_support,
@@ -264,22 +287,14 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
     if (!res.support.empty()) {
       std::sort(res.support.begin(), res.support.end());
       const Matrix phi_k = phi_rows.select_cols(res.support);
-      try {
-        coef_on_support =
-            opts.refit == Refit::kGls
-                ? solve_gls_diag(phi_k, meas.values, meas.noise.stddev)
-                : solve_ols(phi_k, meas.values);
-      } catch (const std::runtime_error&) {
-        const double scale = std::max(phi_k.frobenius_norm(), 1e-12);
-        coef_on_support =
-            solve_ridge(phi_k, meas.values, 1e-8 * scale * scale);
-      }
+      coef_on_support = refit_fit(phi_k);
       residual = linalg::subtract(meas.values, phi_k * coef_on_support);
       prev_res_norm = norm2(residual);
     }
   }
 
   for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    if (poll_cancelled(opts.cancel)) break;
     if (norm2(residual) <= opts.residual_tol * xs_norm) break;
     if (res.support.size() >= k_budget) break;
     ++res.iterations;
@@ -327,19 +342,9 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
     }
     std::sort(res.support.begin(), res.support.end());
 
-    // (e) refit on the support.  Tiny or unlucky plans can make Phi~_K
-    // numerically rank-deficient; fall back to a lightly regularized fit
-    // instead of aborting the round.
+    // (e) refit on the support via the registry-selected solver.
     const Matrix phi_k = phi_rows.select_cols(res.support);
-    try {
-      coef_on_support =
-          opts.refit == Refit::kGls
-              ? solve_gls_diag(phi_k, meas.values, meas.noise.stddev)
-              : solve_ols(phi_k, meas.values);
-    } catch (const std::runtime_error&) {
-      const double scale = std::max(phi_k.frobenius_norm(), 1e-12);
-      coef_on_support = solve_ridge(phi_k, meas.values, 1e-8 * scale * scale);
-    }
+    coef_on_support = refit_fit(phi_k);
 
     // (f) new measurement-domain residual.
     const Vector fitted = phi_k * coef_on_support;

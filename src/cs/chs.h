@@ -16,8 +16,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "cs/cancel.h"
 #include "cs/measurement.h"
 #include "linalg/matrix.h"
 
@@ -31,9 +33,14 @@ enum class Interpolation : std::uint8_t {
 };
 
 /// Coefficient solver for step (e).
+///
+/// DEPRECATED shim (DESIGN.md §9): kept so existing configs compile, but
+/// new code should name the refit solver through
+/// ChsOptions::refit_solver ("ols", "gls", or any registered name) —
+/// the enum merely maps onto those two registry entries.
 enum class Refit : std::uint8_t {
-  kOls,  ///< eq. 11 — homogeneous sensors
-  kGls,  ///< eq. 12 — weight by the sensors' noise covariance
+  kOls,  ///< eq. 11 — homogeneous sensors (registry name "ols")
+  kGls,  ///< eq. 12 — weight by noise covariance (registry name "gls")
 };
 
 struct ChsOptions {
@@ -50,7 +57,12 @@ struct ChsOptions {
   /// any spectrum; kNearest/kLinear pre-smooth the residual, which sharpens
   /// atom selection on smooth physical fields but aliases oscillatory ones.
   Interpolation interpolation = Interpolation::kZeroFill;
+  /// Legacy refit selector; consulted only when `refit_solver` is empty.
   Refit refit = Refit::kOls;
+  /// Registry name of the step-(e) refit solver (SolverRegistry::global());
+  /// empty = derive from the legacy `refit` enum ("ols"/"gls").  The
+  /// rank-deficiency fallback to "ridge" applies regardless of choice.
+  std::string refit_solver;
   /// Significance threshold: a coefficient is eligible when its magnitude
   /// is at least this fraction of the current largest one.
   double significance = 0.1;
@@ -75,6 +87,9 @@ struct ChsOptions {
   /// nonzero MAD; when anything is rejected the result is flagged
   /// degraded.  0 disables screening (seed behavior).  Typical: 4-6.
   double mad_threshold = 0.0;
+  /// Cooperative cancellation, polled once per Fig. 6 iteration; the
+  /// reconstruction built so far is returned.  nullptr = never cancel.
+  const CancelToken* cancel = nullptr;
 };
 
 struct ChsResult {

@@ -67,6 +67,7 @@ SparseSolution cosamp_solve(const Matrix& a, std::span<const double> y,
   Vector best_coef;
 
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (poll_cancelled(opts.cancel)) break;
     if (norm2(r) <= opts.residual_tol * y_norm) break;
     ++sol.iterations;
 
@@ -135,6 +136,7 @@ SparseSolution iht_solve(const Matrix& a, std::span<const double> y,
   Vector x(n, 0.0);
   const double y_norm = std::max(norm2(y), 1e-300);
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (poll_cancelled(opts.cancel)) break;
     const Vector ax = a * x;
     const Vector r = subtract(y, ax);
     if (norm2(r) <= opts.residual_tol * y_norm) break;

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <span>
 
+#include "cs/cancel.h"
 #include "cs/omp.h"
 
 namespace sensedroid::cs {
@@ -18,6 +19,8 @@ struct CosampOptions {
   std::size_t sparsity = 1;         ///< target K (required, >= 1)
   std::size_t max_iterations = 50;
   double residual_tol = 1e-9;       ///< stop at ||r|| <= tol * ||y||
+  /// Polled once per iteration; best-so-far solution is returned.
+  const CancelToken* cancel = nullptr;
 };
 
 /// CoSaMP solve of min ||y - A alpha|| s.t. ||alpha||_0 <= K.
@@ -32,6 +35,8 @@ struct IhtOptions {
   /// Step size mu; 0 = automatic (1 / ||A||_2^2 estimated by power
   /// iteration), the guaranteed-stable choice.
   double step = 0.0;
+  /// Polled once per iteration; best-so-far solution is returned.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Iterative hard thresholding solve of the same problem.

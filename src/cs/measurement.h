@@ -89,6 +89,9 @@ struct Measurement {
 
 /// Takes a measurement of a full signal under a plan and noise model
 /// (eq. 14: x_s + w).  The rng draws the noise realization.
+/// `plan` and `noise` are by-value on purpose: they are sink parameters,
+/// moved into the returned Measurement (callers that keep their copy pass
+/// it explicitly; the common path hands over a temporary for free).
 Measurement measure(std::span<const double> x, MeasurementPlan plan,
                     SensorNoise noise, Rng& rng);
 

@@ -47,6 +47,7 @@ SparseSolution omp_solve(const Matrix& a, std::span<const double> y,
   Vector coef_on_support;
 
   while (sol.support.size() < k_max) {
+    if (poll_cancelled(opts.cancel)) break;
     if (norm2(residual) <= opts.residual_tol * std::max(y_norm, 1e-300)) {
       break;
     }

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "cs/cancel.h"
 #include "linalg/matrix.h"
 
 namespace sensedroid::cs {
@@ -22,6 +23,9 @@ struct OmpOptions {
   /// Stop early if adding the best new atom no longer reduces the
   /// residual meaningfully (guards against noise fitting).
   double min_improvement = 0.0;
+  /// Cooperative cancellation, polled once per greedy iteration; the
+  /// partial solution built so far is returned.  nullptr = never cancel.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of a greedy sparse solve.

@@ -1,0 +1,188 @@
+#include "exec/campaign_runner.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "field/spatial_field.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sensedroid::exec {
+
+namespace {
+
+// Shards are only worth paying for when there is a process registry to
+// merge them into; detached runs skip the isolation machinery entirely.
+bool observed() { return obs::registry() != nullptr; }
+
+}  // namespace
+
+hierarchy::RegionalResult ParallelCampaignRunner::run_round(
+    const std::vector<hierarchy::ZoneDecision>& decisions,
+    linalg::Rng& rng) {
+  hierarchy::LocalCloud& cloud = *cloud_;
+  const std::size_t z = cloud.zone_count();
+  if (decisions.size() != z) {
+    throw std::invalid_argument("run_round: decision count mismatch");
+  }
+  std::vector<std::size_t> budget(z, 0);
+  std::vector<bool> seen(z, false);
+  for (const auto& d : decisions) {
+    if (d.zone_id >= z || seen[d.zone_id]) {
+      throw std::invalid_argument("run_round: bad zone ids");
+    }
+    seen[d.zone_id] = true;
+    budget[d.zone_id] = std::max<std::size_t>(d.measurements, 1);
+  }
+
+  obs::ScopedSpan span("exec.runner.round");
+
+  // One regional round = one fault round, advanced on the driver thread
+  // before any zone task exists (begin_round must not race in-round
+  // queries — fault.h's one threading caveat).
+  if (z > 0 && cloud.nanocloud(0).config().injector != nullptr) {
+    cloud.nanocloud(0).config().injector->begin_round();
+  }
+
+  // Rule 1 (seeding): fork per-zone streams sequentially in zone order.
+  // The campaign Rng advances by exactly Z draws per round no matter how
+  // the zones are later scheduled.
+  std::vector<linalg::Rng> forks;
+  forks.reserve(z);
+  for (std::size_t id = 0; id < z; ++id) forks.push_back(rng.fork());
+
+  struct ZoneOutcome {
+    hierarchy::GatherResult result;
+    std::unique_ptr<obs::MetricsRegistry> shard;
+  };
+  const bool shard_metrics = observed();
+
+  std::vector<std::future<ZoneOutcome>> futures;
+  futures.reserve(z);
+  for (std::size_t id = 0; id < z; ++id) {
+    futures.push_back(pool_->submit([this, id, shard_metrics, &forks,
+                                     m = budget[id]] {
+      ZoneOutcome out;
+      // Rule 2 (isolation): this zone's counters/histograms land in a
+      // private shard; nothing floating-point is shared mid-round.
+      std::optional<obs::ScopedMetricShard> bind;
+      if (shard_metrics) {
+        out.shard = std::make_unique<obs::MetricsRegistry>();
+        bind.emplace(out.shard.get());
+      }
+      out.result = cloud_->nanocloud(id).gather(m, forks[id]);
+      return out;
+    }));
+  }
+
+  // Barrier BEFORE any get(): every task references `forks` and `budget`
+  // on this stack frame, so nothing may be propagated (and this frame
+  // unwound) until all of them have finished.
+  for (auto& f : futures) f.wait();
+
+  std::vector<ZoneOutcome> outcomes;
+  outcomes.reserve(z);
+  for (auto& f : futures) outcomes.push_back(f.get());  // rethrows, id order
+
+  // Rule 3 (reduction): merge shards, then fold results, both in
+  // ascending zone order — fixed floating-point addition order.
+  if (obs::MetricsRegistry* base = obs::registry()) {
+    for (const ZoneOutcome& o : outcomes) {
+      if (o.shard) base->merge_from(*o.shard);
+    }
+  }
+
+  hierarchy::RegionalResult out;
+  out.reconstruction = field::SpatialField(cloud.grid().field_width(),
+                                           cloud.grid().field_height());
+  out.zone_nrmse.resize(z, 0.0);
+  const sim::LinkModel& uplink = cloud.uplink_link();
+  for (std::size_t id = 0; id < z; ++id) {
+    const hierarchy::GatherResult& res = outcomes[id].result;
+    out.total_measurements += res.m_used;
+    out.node_energy_j += res.node_energy_j;
+    out.stats += res.stats;
+    out.zone_nrmse[id] = res.nrmse;
+    if (res.failed_over) ++out.failovers;
+    if (res.degraded) ++out.degraded_zones;
+    out.outliers_rejected += res.outliers_rejected;
+    cloud.grid().insert(out.reconstruction, id, res.reconstruction);
+
+    // Uplink: the NC broker ships its support coefficients to the head
+    // (32 B header + 16 B per coefficient, as in LocalCloud::gather).
+    const std::size_t bytes = 32 + 16 * res.support_size;
+    out.uplink_bytes += bytes;
+    out.uplink_energy_j += uplink.tx_energy_j(bytes) +
+                           uplink.rx_energy_j(bytes);
+  }
+  out.nrmse = field::field_nrmse(out.reconstruction, cloud.truth());
+  if (obs::attached()) {
+    // Same rollup series as the sequential driver, so RunReports from
+    // either path read identically, plus the runner's own accounting.
+    obs::add_counter("hier.localcloud.rounds");
+    obs::add_counter("hier.localcloud.zones_gathered",
+                     static_cast<double>(z));
+    obs::add_counter("hier.localcloud.uplink_bytes",
+                     static_cast<double>(out.uplink_bytes));
+    obs::observe("hier.localcloud.nrmse", out.nrmse);
+    obs::add_counter("exec.runner.rounds");
+    obs::add_counter("exec.runner.zone_tasks", static_cast<double>(z));
+    // Deliberately NO worker-count gauge: worker count is environment,
+    // not campaign data, and emitting it would break the byte-identical
+    // invariant the runner exists to provide.
+  }
+  return out;
+}
+
+hierarchy::RegionalResult ParallelCampaignRunner::run_round_uniform(
+    std::size_t measurements_per_zone, linalg::Rng& rng) {
+  std::vector<hierarchy::ZoneDecision> decisions(cloud_->zone_count());
+  for (std::size_t id = 0; id < decisions.size(); ++id) {
+    decisions[id].zone_id = id;
+    decisions[id].measurements = measurements_per_zone;
+  }
+  return run_round(decisions, rng);
+}
+
+std::vector<cs::ChsResult> chs_reconstruct_batch(
+    ThreadPool& pool, const linalg::Matrix& basis,
+    std::span<const cs::Measurement> signals, const cs::ChsOptions& opts) {
+  struct SignalOutcome {
+    cs::ChsResult result;
+    std::unique_ptr<obs::MetricsRegistry> shard;
+  };
+  const bool shard_metrics = observed();
+
+  std::vector<std::future<SignalOutcome>> futures;
+  futures.reserve(signals.size());
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    futures.push_back(pool.submit([&basis, &signals, &opts, shard_metrics,
+                                   i] {
+      SignalOutcome out;
+      std::optional<obs::ScopedMetricShard> bind;
+      if (shard_metrics) {
+        out.shard = std::make_unique<obs::MetricsRegistry>();
+        bind.emplace(out.shard.get());
+      }
+      out.result = cs::chs_reconstruct(basis, signals[i], opts);
+      return out;
+    }));
+  }
+  for (auto& f : futures) f.wait();  // barrier before any rethrow
+
+  std::vector<cs::ChsResult> results;
+  results.reserve(signals.size());
+  obs::MetricsRegistry* base = obs::registry();
+  for (auto& f : futures) {
+    SignalOutcome out = f.get();  // rethrows in signal-index order
+    if (base != nullptr && out.shard) base->merge_from(*out.shard);
+    results.push_back(std::move(out.result));
+  }
+  return results;
+}
+
+}  // namespace sensedroid::exec

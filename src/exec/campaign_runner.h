@@ -1,0 +1,84 @@
+// Deterministic parallel campaign execution (DESIGN.md §9).
+//
+// A LocalCloud round is embarrassingly parallel — each zone's gather is
+// an independent NanoCloud simulation — but the sequential driver
+// threads ONE Rng through the zones and lets every zone hammer the same
+// global metrics registry, so naively fanning it out changes results
+// with worker count.  The runner restores determinism with three rules:
+//
+//   1. Seeding: per-zone Rng streams are forked from the campaign Rng
+//      sequentially, in zone order, BEFORE fan-out.  Zone z's stream is
+//      a pure function of (campaign rng state, z) — never of scheduling.
+//   2. Isolation: each zone task binds a private MetricsRegistry shard
+//      (obs::ScopedMetricShard), so no floating-point accumulator is
+//      shared across concurrently running zones.  The fault injector's
+//      streams are already keyed per zone / per node (fault.h).
+//   3. Reduction: after ALL tasks complete, shards are merged into the
+//      process registry and results are folded into the RegionalResult
+//      in ascending zone order — the same floating-point addition order
+//      every time.
+//
+// Headline invariant (enforced by tests/test_exec.cpp): a campaign run
+// with 1 worker and with N workers from the same seed produces
+// byte-identical deterministic RunReports
+// (RunReport::from_registry(reg, name, /*include_wall_clock=*/false)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cs/chs.h"
+#include "exec/thread_pool.h"
+#include "hierarchy/localcloud.h"
+
+namespace sensedroid::exec {
+
+/// Drives one LocalCloud's rounds through a ThreadPool, one task per
+/// zone.  Non-owning: the cloud and pool must outlive the runner.  The
+/// runner is the only writer to the cloud while a round is in flight —
+/// zones never touch each other's NanoCloud state, which is what makes
+/// the per-zone fan-out sound.
+class ParallelCampaignRunner {
+ public:
+  ParallelCampaignRunner(hierarchy::LocalCloud& cloud, ThreadPool& pool)
+      : cloud_(&cloud), pool_(&pool) {}
+
+  /// Parallel equivalent of LocalCloud::gather: advances the fault
+  /// round, forks per-zone Rng streams in zone order, fans the zone
+  /// gathers across the pool, and reduces in zone order.  `decisions`
+  /// must cover zone ids 0..Z-1 exactly (throws std::invalid_argument).
+  ///
+  /// NOTE the streams differ from LocalCloud::gather's (which threads
+  /// one Rng sequentially through the zones), so runner results are not
+  /// comparable sample-for-sample with the sequential driver — only
+  /// with other runner runs, where they are worker-count-invariant.
+  /// A zone task that throws is rethrown here after every other zone of
+  /// the round has finished (first zone in index order wins).
+  hierarchy::RegionalResult run_round(
+      const std::vector<hierarchy::ZoneDecision>& decisions,
+      linalg::Rng& rng);
+
+  /// Uniform budget per zone, like LocalCloud::gather_uniform.
+  hierarchy::RegionalResult run_round_uniform(
+      std::size_t measurements_per_zone, linalg::Rng& rng);
+
+  std::size_t zone_count() const noexcept { return cloud_->zone_count(); }
+  std::size_t worker_count() const noexcept { return pool_->worker_count(); }
+
+ private:
+  hierarchy::LocalCloud* cloud_;
+  ThreadPool* pool_;
+};
+
+/// Fans independent CHS reconstructions (one per signal, shared basis
+/// and options) across the pool; results and metric shards are reduced
+/// in signal-index order, so the output — and the deterministic metrics
+/// view — is identical at any worker count.  Signal i's solve must not
+/// depend on signal j's (chs_reconstruct is stateless, so it doesn't).
+/// A solve that throws is rethrown after the batch completes.
+std::vector<cs::ChsResult> chs_reconstruct_batch(
+    ThreadPool& pool, const linalg::Matrix& basis,
+    std::span<const cs::Measurement> signals, const cs::ChsOptions& opts);
+
+}  // namespace sensedroid::exec

@@ -71,38 +71,43 @@ void FaultPlan::validate() const {
   }
 }
 
-FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), link_rng_(mix(plan_.seed, kLinkSalt)) {
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   plan_.validate();
 }
 
 void FaultInjector::begin_round() {
-  ++round_;
+  const std::size_t round =
+      round_.fetch_add(1, std::memory_order_relaxed) + 1;
   obs::add_counter("fault.injector.rounds");
   // Crash windows are tallied when they cover the new round so the
   // injected count reflects outages even if nobody gathers that zone.
   for (const CrashWindow& w : plan_.broker_crashes) {
-    if (round_ >= w.from_round && round_ <= w.to_round) {
+    if (round >= w.from_round && round <= w.to_round) {
+      std::lock_guard<std::mutex> lock(mu_);
       ++tally_.crashed_broker_rounds;
       obs::add_counter("fault.broker.crashed_rounds");
     }
   }
 }
 
-bool FaultInjector::link_attempt_drops() {
+bool FaultInjector::link_attempt_drops(std::uint32_t zone) {
   if (!plan_.link.enabled()) return false;
-  // Advance the two-state chain, then draw the state's loss.
-  if (link_bad_) {
-    if (link_rng_.bernoulli(plan_.link.p_bad_to_good)) link_bad_ = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, created] = links_.try_emplace(
+      zone, LinkState{Rng(mix(plan_.seed, mix(kLinkSalt, zone))), false});
+  LinkState& st = it->second;
+  // Advance the zone's two-state chain, then draw the state's loss.
+  if (st.bad) {
+    if (st.rng.bernoulli(plan_.link.p_bad_to_good)) st.bad = false;
   } else {
-    if (link_rng_.bernoulli(plan_.link.p_good_to_bad)) {
-      link_bad_ = true;
+    if (st.rng.bernoulli(plan_.link.p_good_to_bad)) {
+      st.bad = true;
       ++tally_.link_bursts;
       obs::add_counter("fault.link.bursts");
     }
   }
-  const double loss = link_bad_ ? plan_.link.loss_bad : plan_.link.loss_good;
-  const bool drop = link_rng_.bernoulli(loss);
+  const double loss = st.bad ? plan_.link.loss_bad : plan_.link.loss_good;
+  const bool drop = st.rng.bernoulli(loss);
   if (drop) {
     ++tally_.link_drops;
     obs::add_counter("fault.link.drops");
@@ -110,14 +115,22 @@ bool FaultInjector::link_attempt_drops() {
   return drop;
 }
 
+bool FaultInjector::link_in_bad_state(std::uint32_t zone) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = links_.find(zone);
+  return it != links_.end() && it->second.bad;
+}
+
 bool FaultInjector::node_present(std::uint32_t node) {
   if (!plan_.churn.enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, created] = churn_.try_emplace(
       node, ChurnState{Rng(mix(plan_.seed, mix(kChurnSalt, node))), 0, true});
   ChurnState& st = it->second;
   // Lazily advance the node's private chain up to the current round: one
   // draw per round per node, independent of query order or count.
-  while (st.round < round_) {
+  const std::size_t round = round_.load(std::memory_order_relaxed);
+  while (st.round < round) {
     ++st.round;
     if (st.present) {
       if (st.rng.bernoulli(plan_.churn.leave_prob)) {
@@ -141,12 +154,18 @@ bool FaultInjector::node_present(std::uint32_t node) {
 }
 
 bool FaultInjector::broker_down(std::uint32_t zone) const noexcept {
+  const std::size_t round = round_.load(std::memory_order_relaxed);
   for (const CrashWindow& w : plan_.broker_crashes) {
-    if (w.zone == zone && round_ >= w.from_round && round_ <= w.to_round) {
+    if (w.zone == zone && round >= w.from_round && round <= w.to_round) {
       return true;
     }
   }
   return false;
+}
+
+FaultInjector::Tally FaultInjector::tally() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tally_;
 }
 
 sensing::SimulatedSensor::ReadHook FaultInjector::sensor_hook(
@@ -161,13 +180,15 @@ sensing::SimulatedSensor::ReadHook FaultInjector::sensor_hook(
   const bool drift =
       !stuck &&
       u < plan_.sensors.stuck_fraction + plan_.sensors.drift_fraction;
-  if (stuck) {
-    ++tally_.stuck_nodes;
-    obs::add_counter("fault.sensor.stuck_nodes");
-  }
-  if (drift) {
-    ++tally_.drift_nodes;
-    obs::add_counter("fault.sensor.drift_nodes");
+  if (stuck || drift) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stuck) {
+      ++tally_.stuck_nodes;
+      obs::add_counter("fault.sensor.stuck_nodes");
+    } else {
+      ++tally_.drift_nodes;
+      obs::add_counter("fault.sensor.drift_nodes");
+    }
   }
   if (!stuck && !drift && plan_.sensors.spike_prob <= 0.0) return {};
 
@@ -191,8 +212,11 @@ sensing::SimulatedSensor::ReadHook FaultInjector::sensor_hook(
   st->spike_mag =
       plan_.sensors.spike_sigmas * std::max(sigma, 1e-3);
 
-  Tally* tally = &tally_;
-  return [st, tally](std::size_t /*index*/, double value) {
+  // The HookState itself needs no lock: a node is read only inside its
+  // own zone's gather task, and the campaign runner joins all tasks
+  // between rounds, so accesses are sequenced even when the zone migrates
+  // across workers.  Only the shared tally crosses zones.
+  return [st, this](std::size_t /*index*/, double value) {
     if (st->stuck) {
       if (!st->has_frozen) {
         st->has_frozen = true;
@@ -207,7 +231,10 @@ sensing::SimulatedSensor::ReadHook FaultInjector::sensor_hook(
       // Sign alternates deterministically with the stream.
       const double sign = st->rng.bernoulli(0.5) ? 1.0 : -1.0;
       value += sign * st->spike_mag;
-      ++tally->sensor_spikes;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++tally_.sensor_spikes;
+      }
       obs::add_counter("fault.sensor.spikes");
     }
     return value;

@@ -15,9 +15,11 @@
 // bit-identical to running with no injector at all.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "linalg/random.h"
@@ -106,14 +108,25 @@ struct FaultPlan {
   void validate() const;
 };
 
-/// Executes a FaultPlan.  Single-threaded; not reentrant.  The injector
-/// must outlive every cloud, broker, and sensor hook built against it.
+/// Executes a FaultPlan.  Thread-safe: one injector may be shared by
+/// every zone of a parallel campaign — all mutable state sits behind one
+/// mutex, and sensor hooks lock it for their tally updates.  The
+/// injector must outlive every cloud, broker, and sensor hook built
+/// against it.
 ///
 /// Determinism contract: given the same plan (seed included) and the
-/// same sequence of calls, every method returns the same answers.  All
-/// randomness comes from streams derived from plan.seed; the campaign
-/// Rng is never touched, so a disabled injector is behaviorally
-/// invisible.
+/// same per-stream sequence of calls, every method returns the same
+/// answers.  Every random stream is keyed by its consumer — churn per
+/// (seed, node), sensor defects per (seed, node), link bursts per
+/// (seed, zone) — so answers never depend on the order in which zones
+/// or nodes are processed, which is what lets N worker threads replay a
+/// 1-thread campaign bit-identically (DESIGN.md §9).  All randomness
+/// comes from streams derived from plan.seed; the campaign Rng is never
+/// touched, so a disabled injector is behaviorally invisible.
+///
+/// begin_round() is the one exception: it must be called from the
+/// campaign driver thread between rounds, never concurrently with
+/// in-round queries.
 class FaultInjector {
  public:
   /// Validates and adopts the plan.
@@ -122,22 +135,29 @@ class FaultInjector {
   const FaultPlan& plan() const noexcept { return plan_; }
 
   /// Current campaign round; 0 until the first begin_round().
-  std::size_t current_round() const noexcept { return round_; }
+  std::size_t current_round() const noexcept {
+    return round_.load(std::memory_order_relaxed);
+  }
 
   /// Advances to the next round (rounds are 1-based).  Called by the
   /// campaign driver once per gathering round; churn and crash windows
   /// evolve at round granularity.
   void begin_round();
 
-  /// One transmission attempt through the bursty channel: advances the
-  /// Gilbert–Elliott chain one step and returns true when the burst
-  /// process forces a drop.  Callers layer this on LinkModel's distance
-  /// loss (forced drops replace the distance draw).  No-op returning
-  /// false when the plan's link faults are disabled.
-  bool link_attempt_drops();
+  /// One transmission attempt through zone `zone`'s bursty channel:
+  /// advances that zone's private Gilbert–Elliott chain one step and
+  /// returns true when the burst process forces a drop.  Callers layer
+  /// this on LinkModel's distance loss (forced drops replace the
+  /// distance draw).  No-op returning false when the plan's link faults
+  /// are disabled.  Zone radio environments fade independently, so each
+  /// zone owns a chain seeded per (plan seed, zone) — the zone's drop
+  /// sequence is a pure function of its own attempt count, untouched by
+  /// how other zones' gathers are scheduled across workers.
+  bool link_attempt_drops(std::uint32_t zone = 0);
 
-  /// True while the GE chain sits in the bad (deep-fade) state.
-  bool link_in_bad_state() const noexcept { return link_bad_; }
+  /// True while zone `zone`'s GE chain sits in the bad (deep-fade)
+  /// state (false before its first attempt).
+  bool link_in_bad_state(std::uint32_t zone = 0) const;
 
   /// Whether `node` is churned in during the current round.  A node's
   /// presence is fixed for the round and deterministic per (seed, node,
@@ -173,7 +193,8 @@ class FaultInjector {
              crashed_broker_rounds;
     }
   };
-  const Tally& tally() const noexcept { return tally_; }
+  /// Snapshot by value: workers may still be appending to the live tally.
+  Tally tally() const;
 
  private:
   struct ChurnState {
@@ -181,11 +202,15 @@ class FaultInjector {
     std::size_t round = 0;  ///< last round the chain was advanced to
     bool present = true;
   };
+  struct LinkState {
+    Rng rng;
+    bool bad = false;
+  };
 
   FaultPlan plan_;
-  Rng link_rng_;
-  bool link_bad_ = false;
-  std::size_t round_ = 0;
+  std::atomic<std::size_t> round_{0};
+  mutable std::mutex mu_;  // guards links_, churn_, tally_
+  std::map<std::uint32_t, LinkState> links_;
   std::map<std::uint32_t, ChurnState> churn_;
   Tally tally_;
 };

@@ -44,6 +44,11 @@ class LocalCloud {
   std::size_t zone_count() const noexcept { return clouds_.size(); }
   NanoCloud& nanocloud(std::size_t id) { return clouds_.at(id); }
   const field::ZoneGrid& grid() const noexcept { return grid_; }
+  /// Regional ground truth (what gather() scores nrmse against).
+  const field::SpatialField& truth() const noexcept { return *truth_; }
+  /// NC-broker -> head uplink radio model (for external drivers like the
+  /// parallel campaign runner that replicate gather()'s merge phase).
+  const sim::LinkModel& uplink_link() const noexcept { return uplink_; }
 
   /// Gathers every zone with its decided budget and stitches the region.
   /// `decisions` must have one entry per zone (any order is accepted but

@@ -45,7 +45,7 @@ NanoCloud::NanoCloud(const field::SpatialField& truth,
     throw std::invalid_argument("NanoCloud: negative battery capacity");
   }
   broker_.set_retry_policy(config_.retry);  // validates; throws when bad
-  broker_.set_fault_injector(config_.injector);
+  broker_.set_fault_injector(config_.injector, config_.zone_id);
 
   // Battery sabotage applies to phones only: backfill sensors are
   // mains-powered infrastructure.
@@ -131,7 +131,7 @@ GatherResult NanoCloud::gather(std::size_t m, Rng& rng) {
     standin.emplace(kBrokerId + promoted->id(), promoted->position(),
                     promoted->link());
     standin->set_retry_policy(config_.retry);
-    standin->set_fault_injector(config_.injector);
+    standin->set_fault_injector(config_.injector, config_.zone_id);
     head = &*standin;
     out.failed_over = true;
     out.degraded = true;

@@ -55,7 +55,15 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
   GatherStats local;
   std::vector<Reading> readings;
   readings.reserve(nodes.size());
-  const double deadline = retry_.round_deadline_s;
+  // Policies are immutable during a round (set_retry_policy between
+  // rounds only), so hoist every field into locals once: the loop below
+  // must not observe a torn/half-updated policy, and the hoisted copies
+  // make that contract explicit instead of re-reading `retry_` per
+  // attempt.
+  const fault::RetryPolicy policy = retry_;
+  const double deadline = policy.round_deadline_s;
+  const std::size_t max_attempts = policy.max_attempts;
+  const double min_retry_soc = policy.min_retry_soc;
   double elapsed_s = 0.0;  // virtual time this round: transfers + backoff
 
   for (MobileNode* node : nodes) {
@@ -74,13 +82,13 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
         injector_ == nullptr || injector_->node_present(node->id());
 
     double backoff = 0.0;
-    for (std::size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
       if (attempt > 0) {
-        if (node->battery().state_of_charge() < retry_.min_retry_soc) {
+        if (node->battery().state_of_charge() < min_retry_soc) {
           ++local.battery_skips;
           break;
         }
-        backoff = retry_.next_backoff_s(backoff, rng);
+        backoff = policy.next_backoff_s(backoff, rng);
         elapsed_s += backoff;
         if (deadline > 0.0 && elapsed_s >= deadline) {
           ++local.deadline_skips;
@@ -100,7 +108,7 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
       // gone regardless of geometry); otherwise the usual distance loss
       // applies, so a benign injector changes no Rng stream.
       const bool cmd_burst_drop =
-          injector_ != nullptr && injector_->link_attempt_drops();
+          injector_ != nullptr && injector_->link_attempt_drops(fault_zone_);
       if (cmd_burst_drop || !present || !link_.delivery_succeeds(dist, rng)) {
         ++local.radio_failures;
         continue;  // next attempt, if any
@@ -120,7 +128,7 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
       local.bytes_transferred += kReplyBytes;
       elapsed_s += node->link().transfer_time_s(kReplyBytes);
       const bool reply_burst_drop =
-          injector_ != nullptr && injector_->link_attempt_drops();
+          injector_ != nullptr && injector_->link_attempt_drops(fault_zone_);
       if (reply_burst_drop || !node->link().delivery_succeeds(dist, rng)) {
         ++local.radio_failures;
         continue;

@@ -108,9 +108,13 @@ class Broker {
 
   /// Attaches (or detaches, with nullptr) a fault injector: collect()
   /// then layers its bursty-link drops and churn absences onto the
-  /// distance loss.  Non-owning; the injector must outlive the broker.
-  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+  /// distance loss.  `zone` selects which of the injector's per-zone
+  /// link chains this broker's radio traffic advances (NanoCloud passes
+  /// its zone_id).  Non-owning; the injector must outlive the broker.
+  void set_fault_injector(fault::FaultInjector* injector,
+                          std::uint32_t zone = 0) noexcept {
     injector_ = injector;
+    fault_zone_ = zone;
   }
   fault::FaultInjector* fault_injector() const noexcept { return injector_; }
 
@@ -133,6 +137,7 @@ class Broker {
   sim::EnergyMeter meter_;
   fault::RetryPolicy retry_;
   fault::FaultInjector* injector_ = nullptr;
+  std::uint32_t fault_zone_ = 0;
   sim::Simulator* sim_ = nullptr;
   double last_round_s_ = 0.0;
 };

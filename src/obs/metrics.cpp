@@ -112,6 +112,10 @@ std::string prom_number(double v) {
 
 std::atomic<MetricsRegistry*> g_registry{nullptr};
 
+// Per-thread shard override (ScopedMetricShard).  Plain (non-atomic):
+// only ever touched by its own thread.
+thread_local MetricsRegistry* t_shard = nullptr;
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -166,6 +170,37 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+void Histogram::absorb(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t count, double sum, double min,
+                       double max) noexcept {
+  if (count == 0) return;
+  if (bounds == bounds_ && buckets.size() == bounds_.size() + 1) {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] != 0) {
+        buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+      }
+    }
+  } else {
+    // Bounds mismatch: re-bin each foreign bucket at its upper bound
+    // (overflow bucket lands at the foreign max).
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      const double v = i < bounds.size() ? bounds[i] : max;
+      const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+      const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+      buckets_[idx].fetch_add(buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + sum,
+                                     std::memory_order_relaxed)) {
+  }
+  atomic_min(min_, min);
+  atomic_max(max_, max);
 }
 
 double Histogram::quantile(double q) const noexcept {
@@ -287,6 +322,29 @@ void MetricsRegistry::clear() {
   histograms_.clear();
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Snapshot first: samples() holds other's lock, our lookups hold ours,
+  // never both at once — merge_from(self) or cross-merges cannot
+  // deadlock.  samples() iterates sorted series maps, so the merge order
+  // (and therefore every floating-point accumulation) is deterministic.
+  for (const Sample& s : other.samples()) {
+    switch (s.kind) {
+      case 'c':
+        counter(s.name, s.labels).add(s.value);
+        break;
+      case 'g':
+        gauge(s.name, s.labels).set(s.value);
+        break;
+      case 'h':
+        histogram(s.name, s.labels, s.bounds)
+            .absorb(s.bounds, s.buckets, s.count, s.sum, s.min, s.max);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
 std::vector<MetricsRegistry::Sample> MetricsRegistry::samples() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<Sample> out;
@@ -326,10 +384,23 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::samples() const {
   return out;
 }
 
-std::string MetricsRegistry::to_json() const {
+std::string MetricsRegistry::to_json() const { return to_json(true); }
+
+namespace {
+
+/// Wall-clock timing series carry the unit suffix `_us` by convention;
+/// they are the only inherently non-reproducible series in the registry.
+bool is_wall_clock_series(std::string_view name) {
+  return name.size() >= 3 && name.substr(name.size() - 3) == "_us";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json(bool include_wall_clock) const {
   const auto all = samples();
   std::string counters, gauges, hists;
   for (const auto& s : all) {
+    if (!include_wall_clock && is_wall_clock_series(s.name)) continue;
     std::string labels = "{";
     for (std::size_t i = 0; i < s.labels.size(); ++i) {
       if (i) labels += ',';
@@ -420,10 +491,22 @@ void attach_registry(MetricsRegistry* r) noexcept {
   g_registry.store(r, std::memory_order_release);
 }
 
-bool attached() noexcept { return registry() != nullptr; }
+MetricsRegistry* sink() noexcept {
+  MetricsRegistry* shard = t_shard;
+  return shard != nullptr ? shard : registry();
+}
+
+bool attached() noexcept { return sink() != nullptr; }
+
+ScopedMetricShard::ScopedMetricShard(MetricsRegistry* shard) noexcept
+    : prev_(t_shard) {
+  t_shard = shard;
+}
+
+ScopedMetricShard::~ScopedMetricShard() { t_shard = prev_; }
 
 void add_counter(std::string_view name, double v) noexcept {
-  if (MetricsRegistry* r = registry()) {
+  if (MetricsRegistry* r = sink()) {
     try {
       r->counter(name).add(v);
     } catch (...) {
@@ -433,7 +516,7 @@ void add_counter(std::string_view name, double v) noexcept {
 
 void add_counter(std::string_view name, const Labels& labels,
                  double v) noexcept {
-  if (MetricsRegistry* r = registry()) {
+  if (MetricsRegistry* r = sink()) {
     try {
       r->counter(name, labels).add(v);
     } catch (...) {
@@ -442,7 +525,7 @@ void add_counter(std::string_view name, const Labels& labels,
 }
 
 void set_gauge(std::string_view name, double v) noexcept {
-  if (MetricsRegistry* r = registry()) {
+  if (MetricsRegistry* r = sink()) {
     try {
       r->gauge(name).set(v);
     } catch (...) {
@@ -451,7 +534,7 @@ void set_gauge(std::string_view name, double v) noexcept {
 }
 
 void observe(std::string_view name, double v) noexcept {
-  if (MetricsRegistry* r = registry()) {
+  if (MetricsRegistry* r = sink()) {
     try {
       r->histogram(name).observe(v);
     } catch (...) {

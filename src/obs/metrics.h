@@ -102,6 +102,16 @@ class Histogram {
   /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
   std::vector<std::uint64_t> bucket_counts() const;
 
+  /// Folds another histogram's exported state into this one (shard
+  /// merging).  When `bounds` matches this histogram's bounds the merge
+  /// is exact (bucket-wise); otherwise each foreign bucket is re-binned
+  /// at its upper bound (overflow at `max`).  `sum` is added once either
+  /// way, so mean/sum stay exact and only quantiles are approximate on a
+  /// bounds mismatch.
+  void absorb(const std::vector<double>& bounds,
+              const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+              double sum, double min, double max) noexcept;
+
  private:
   std::vector<double> bounds_;  // ascending upper bounds
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
@@ -137,8 +147,20 @@ class MetricsRegistry {
   /// Drops every series.  Invalidates references handed out earlier.
   void clear();
 
-  /// {"counters":[...],"gauges":[...],"histograms":[...]}.
+  /// Folds every series of `other` into this registry: counters add,
+  /// gauges take `other`'s value (last merge wins), histograms absorb
+  /// bucket-wise.  Merging per-task shards into a base registry in a
+  /// fixed order (e.g. zone index) yields bit-identical floating-point
+  /// totals regardless of how many threads produced the shards — the
+  /// determinism lever the parallel campaign runner relies on.
+  void merge_from(const MetricsRegistry& other);
+
+  /// {"counters":[...],"gauges":[...],"histograms":[...]}.  When
+  /// `include_wall_clock` is false, series named `*_us` (wall-clock
+  /// timings, inherently non-deterministic) are omitted — the export the
+  /// byte-identical-replay contract is stated over.
   std::string to_json() const;
+  std::string to_json(bool include_wall_clock) const;
   /// Prometheus text exposition format ('.' becomes '_' in names).
   std::string to_prometheus() const;
 
@@ -175,13 +197,36 @@ class MetricsRegistry {
 // ---------------------------------------------------------------------
 // Global attachment point.  Default: detached (all helpers no-ops).
 
-/// Currently attached registry, or nullptr.
+/// Currently attached process-wide registry, or nullptr.
 MetricsRegistry* registry() noexcept;
 /// Attaches `r` as the process-wide sink (nullptr detaches).  Not
 /// synchronized against in-flight helper calls on other threads beyond
 /// the atomic pointer itself — attach before the workload starts.
 void attach_registry(MetricsRegistry* r) noexcept;
+
+/// Where this thread's helper calls land: the thread-local shard when a
+/// ScopedMetricShard is live on this thread, else the process registry.
+MetricsRegistry* sink() noexcept;
+/// True when sink() is non-null.
 bool attached() noexcept;
+
+/// Redirects this thread's metric helpers into `shard` for the current
+/// scope (restores the previous binding on destruction; nestable).  The
+/// parallel campaign runner gives every zone task its own shard so hot
+/// paths never contend on shared atomics, then merges the shards into
+/// the base registry in zone order — making the merged floating-point
+/// totals independent of worker count and scheduling.  Binding nullptr
+/// restores process-registry routing for the scope.
+class ScopedMetricShard {
+ public:
+  explicit ScopedMetricShard(MetricsRegistry* shard) noexcept;
+  ~ScopedMetricShard();
+  ScopedMetricShard(const ScopedMetricShard&) = delete;
+  ScopedMetricShard& operator=(const ScopedMetricShard&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
 
 /// No-op when detached; swallows allocation failures (instrumentation
 /// must never take down the host).

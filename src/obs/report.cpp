@@ -50,6 +50,12 @@ std::string escape(std::string_view s) {
 
 RunReport RunReport::from_registry(const MetricsRegistry& reg,
                                    std::string campaign) {
+  return from_registry(reg, std::move(campaign), /*include_wall_clock=*/true);
+}
+
+RunReport RunReport::from_registry(const MetricsRegistry& reg,
+                                   std::string campaign,
+                                   bool include_wall_clock) {
   RunReport r;
   r.campaign = std::move(campaign);
 
@@ -81,8 +87,10 @@ RunReport RunReport::from_registry(const MetricsRegistry& reg,
   r.simplex_solves = reg.counter_sum("cs.simplex.solves");
   r.simplex_pivots = reg.counter_sum("cs.simplex.pivots");
   r.chs_residual = summarize(reg, "cs.chs.residual_rel");
-  r.chs_solve_us = summarize(reg, "cs.chs.solve_us");
-  r.omp_solve_us = summarize(reg, "cs.omp.solve_us");
+  if (include_wall_clock) {
+    r.chs_solve_us = summarize(reg, "cs.chs.solve_us");
+    r.omp_solve_us = summarize(reg, "cs.omp.solve_us");
+  }
 
   r.gather_rounds = reg.counter_sum("hier.nanocloud.rounds");
   r.nodes_commanded = reg.counter_sum("hier.nanocloud.nodes_commanded");
@@ -101,7 +109,7 @@ RunReport RunReport::from_registry(const MetricsRegistry& reg,
   r.topup_replies = reg.counter_sum("mw.topup.replies");
   r.outliers_rejected = reg.counter_sum("cs.chs.outliers_rejected");
 
-  r.metrics_json = reg.to_json();
+  r.metrics_json = reg.to_json(include_wall_clock);
   return r;
 }
 

@@ -89,6 +89,15 @@ struct RunReport {
   static RunReport from_registry(const MetricsRegistry& reg,
                                  std::string campaign);
 
+  /// As above; with `include_wall_clock == false` every wall-clock
+  /// timing series (`*_us` histograms, chs/omp solve-time summaries) is
+  /// dropped.  That view is the object of the execution engine's
+  /// determinism invariant: for the same seed it is byte-identical no
+  /// matter how many worker threads ran the campaign (DESIGN.md §9).
+  static RunReport from_registry(const MetricsRegistry& reg,
+                                 std::string campaign,
+                                 bool include_wall_clock);
+
   /// Structured JSON: {"campaign":...,"sim":{...},"middleware":{...},
   /// "cs":{...},"hierarchy":{...},"reconstruction_error":...,
   /// "metrics":{...full registry...}}.
