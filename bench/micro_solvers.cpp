@@ -7,6 +7,12 @@
 // not just wall time.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "cs/basis_pursuit.h"
 #include "cs/greedy_variants.h"
 #include "cs/chs.h"
@@ -162,6 +168,88 @@ void BM_PseudoInverse(benchmark::State& state) {
 }
 BENCHMARK(BM_PseudoInverse)->Arg(16)->Arg(48);
 
+// ---------------------------------------------------------------------
+// Fig. 4 regime trajectory point: median per-solve microseconds for each
+// solver at n=256, m=30, k~10 (the per-zone per-round hot path the exec
+// engine fans out).  Written as machine-readable JSON to
+// $SENSEDROID_BENCH_JSON (default ./BENCH_solvers.json) so the bench
+// trajectory has comparable before/after points across PRs.
+
+template <typename Fn>
+double median_solve_us(std::size_t reps, Fn&& solve_once) {
+  std::vector<double> us;
+  us.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    solve_once();
+    const auto t1 = std::chrono::steady_clock::now();
+    us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(us.begin(), us.end());
+  return us[us.size() / 2];
+}
+
+bool write_fig4_regime_json() {
+  constexpr std::size_t n = 256, m = 30, k = 10, reps = 400;
+  const auto basis = linalg::dct_basis(n);
+  linalg::Rng rng(404);
+  linalg::Vector alpha(n, 0.0);
+  for (std::size_t j : rng.sample_without_replacement(n, k)) {
+    alpha[j] = rng.uniform(1.0, 2.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+  }
+  const auto x = basis * alpha;
+  auto plan = cs::MeasurementPlan::random(n, m, rng);
+  const auto meas = cs::measure_exact(x, plan);
+  const linalg::Matrix a = plan.select_rows(basis);  // M x N dictionary
+  const linalg::Vector& y = meas.values;
+  const auto support_cols = a.select_cols(rng.sample_without_replacement(n, k));
+
+  const double omp_us = median_solve_us(reps, [&] {
+    benchmark::DoNotOptimize(cs::omp_solve(a, y, {.max_sparsity = k}));
+  });
+  const double cosamp_us = median_solve_us(reps, [&] {
+    benchmark::DoNotOptimize(cs::cosamp_solve(a, y, {.sparsity = k}));
+  });
+  const double iht_us = median_solve_us(reps, [&] {
+    benchmark::DoNotOptimize(cs::iht_solve(a, y, {.sparsity = k}));
+  });
+  const double chs_us = median_solve_us(reps, [&] {
+    benchmark::DoNotOptimize(cs::chs_reconstruct(basis, meas));
+  });
+  const double ols_us = median_solve_us(reps, [&] {
+    benchmark::DoNotOptimize(cs::solve_ols(support_cols, y));
+  });
+
+  // Appends one JSONL trajectory point per run ($SENSEDROID_BENCH_LABEL
+  // tags it, e.g. "pre-incremental-qr" vs "incremental-qr") so the file
+  // accumulates comparable before/after points across PRs instead of
+  // keeping only the newest run.
+  const char* env = std::getenv("SENSEDROID_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_solvers.json";
+  const char* label_env = std::getenv("SENSEDROID_BENCH_LABEL");
+  const char* label = label_env != nullptr ? label_env : "head";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_solvers: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"micro_solvers\",\"regime\":\"fig4\","
+               "\"label\":\"%s\","
+               "\"fixture\":{\"n\":%zu,\"m\":%zu,\"k\":%zu,\"reps\":%zu},"
+               "\"median_us\":{\"omp\":%.3f,\"cosamp\":%.3f,\"iht\":%.3f,"
+               "\"chs\":%.3f,\"ols_30x10\":%.3f}}\n",
+               label, n, m, k, reps, omp_us, cosamp_us, iht_us, chs_us,
+               ols_us);
+  std::fclose(f);
+  std::printf("fig4 regime (n=%zu m=%zu k=%zu) median us: omp=%.2f "
+              "cosamp=%.2f iht=%.2f chs=%.2f ols=%.2f -> %s\n",
+              n, m, k, omp_us, cosamp_us, iht_us, chs_us, ols_us,
+              path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,7 +264,9 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
+  const bool bench_json_ok = write_fig4_regime_json();
+
   auto report = obs::RunReport::from_registry(registry, "micro_solvers");
   obs::attach_registry(nullptr);
-  return obs::write_report(report) ? 0 : 1;
+  return obs::write_report(report) && bench_json_ok ? 0 : 1;
 }

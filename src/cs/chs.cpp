@@ -8,6 +8,7 @@
 
 #include "cs/least_squares.h"
 #include "cs/solver.h"
+#include "linalg/updatable_qr.h"
 #include "linalg/vector_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -246,14 +247,6 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
   SolveContext refit_ctx;
   if (meas.noise.size() == m) refit_ctx.noise_stddev = meas.noise.stddev;
   refit_ctx.cancel = opts.cancel;
-  const auto refit_fit = [&](const Matrix& phi_k) {
-    try {
-      return refit->solve(phi_k, meas.values, refit_ctx).coefficients;
-    } catch (const std::runtime_error&) {
-      const double scale = std::max(phi_k.frobenius_norm(), 1e-12);
-      return solve_ridge(phi_k, meas.values, 1e-8 * scale * scale);
-    }
-  };
 
   const std::size_t k_budget = std::min(
       opts.max_support == 0 ? std::max<std::size_t>(m / 2, 1)
@@ -261,6 +254,29 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
       m);
   const auto locations = meas.plan.indices();
   const Matrix phi_rows = meas.plan.select_rows(basis);  // M x N
+
+  // The support grows by sorted insertion each accepted batch and the
+  // undo path retracts exactly the last batch, so successive refit
+  // supports share long prefixes: route plain-OLS refits through the
+  // incremental factorization cache (prefix reuse, O(mk) per new
+  // column).  Weighted ("gls" with a noise model) or custom registry
+  // solvers, and numerically dependent supports, take the dense path.
+  linalg::SupportQrCache qr_cache(phi_rows);
+  const bool cacheable = refit->name() == "ols";
+  std::size_t cache_cols_reused = 0;
+  const auto refit_fit = [&](const Matrix& phi_k,
+                             const std::vector<std::size_t>& support) {
+    if (cacheable && qr_cache.refit(support)) {
+      cache_cols_reused += qr_cache.reused_columns();
+      return qr_cache.solve(meas.values);
+    }
+    try {
+      return refit->solve(phi_k, meas.values, refit_ctx).coefficients;
+    } catch (const std::runtime_error&) {
+      const double scale = std::max(phi_k.frobenius_norm(), 1e-12);
+      return solve_ridge(phi_k, meas.values, 1e-8 * scale * scale);
+    }
+  };
 
   ChsResult res;
   res.coefficients.assign(n, 0.0);
@@ -287,7 +303,7 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
     if (!res.support.empty()) {
       std::sort(res.support.begin(), res.support.end());
       const Matrix phi_k = phi_rows.select_cols(res.support);
-      coef_on_support = refit_fit(phi_k);
+      coef_on_support = refit_fit(phi_k, res.support);
       residual = linalg::subtract(meas.values, phi_k * coef_on_support);
       prev_res_norm = norm2(residual);
     }
@@ -299,16 +315,23 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
     if (res.support.size() >= k_budget) break;
     ++res.iterations;
 
-    // (a) Upsilon: residual onto the full grid (2-D aware when the caller
-    // declared the field geometry).
-    const Vector e_full =
-        opts.grid_height > 0
-            ? interpolate_to_grid_2d(residual, locations, n,
-                                     opts.grid_height, opts.interpolation)
-            : interpolate_to_grid(residual, locations, n,
-                                  opts.interpolation);
-    // (b) analyze in the basis.
-    const Vector alpha_r = basis.transpose_times(e_full);
+    // (a)+(b) Upsilon then analyze: residual onto the full grid, then
+    // into the basis.  Zero-fill leaves e_full zero off the sampled
+    // locations, so Phi^T e_full collapses to Phi_rows^T residual — the
+    // sparsity is exploited explicitly here (M rows instead of N)
+    // rather than by a data-dependent zero-skip inside the kernel.
+    Vector alpha_r;
+    if (opts.interpolation == Interpolation::kZeroFill) {
+      alpha_r = phi_rows.transpose_times(residual);
+    } else {
+      const Vector e_full =
+          opts.grid_height > 0
+              ? interpolate_to_grid_2d(residual, locations, n,
+                                       opts.grid_height, opts.interpolation)
+              : interpolate_to_grid(residual, locations, n,
+                                    opts.interpolation);
+      alpha_r = basis.transpose_times(e_full);
+    }
 
     // (c) pick significant, not-yet-selected coefficients.
     double max_mag = 0.0;
@@ -342,9 +365,9 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
     }
     std::sort(res.support.begin(), res.support.end());
 
-    // (e) refit on the support via the registry-selected solver.
+    // (e) refit on the support via the cache or the registry solver.
     const Matrix phi_k = phi_rows.select_cols(res.support);
-    coef_on_support = refit_fit(phi_k);
+    coef_on_support = refit_fit(phi_k, res.support);
 
     // (f) new measurement-domain residual.
     const Vector fitted = phi_k * coef_on_support;
@@ -383,6 +406,10 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
     obs::add_counter("cs.chs.solves");
     obs::add_counter("cs.chs.iterations",
                      static_cast<double>(res.iterations));
+    if (cache_cols_reused > 0) {
+      obs::add_counter("cs.chs.refit_cols_reused",
+                       static_cast<double>(cache_cols_reused));
+    }
     obs::observe("cs.chs.residual_rel", res.residual_norm / xs_norm);
     obs::observe("cs.chs.support_size",
                  static_cast<double>(res.support.size()));

@@ -7,6 +7,7 @@
 #include "cs/least_squares.h"
 #include "linalg/decomposition.h"
 #include "linalg/random.h"
+#include "linalg/updatable_qr.h"
 #include "linalg/vector_ops.h"
 
 namespace sensedroid::cs {
@@ -32,6 +33,22 @@ Vector residual_for(const Matrix& a, std::span<const double> y,
   return r;
 }
 
+// A x for a structurally sparse x, synthesized from the nonzero columns
+// only.  The dense kernels deliberately do not zero-skip (a masked
+// 0 * NaN would hide poisoned entries), so sparsity must be explicit at
+// call sites that hold a hard-thresholded iterate — IHT multiplies a
+// k-sparse vector against the full dictionary every iteration, and the
+// dense product would turn its O(m k) step into O(m n).
+Vector sparse_times(const Matrix& a, const Vector& x) {
+  Vector out(a.rows(), 0.0);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double c = x[j];
+    if (c == 0.0) continue;
+    for (std::size_t i = 0; i < a.rows(); ++i) out[i] += a(i, j) * c;
+  }
+  return out;
+}
+
 Vector least_squares_or_ridge(const Matrix& a_sub,
                               std::span<const double> y) {
   try {
@@ -42,7 +59,47 @@ Vector least_squares_or_ridge(const Matrix& a_sub,
   }
 }
 
+// Refit through the incremental factorization cache when most of the
+// support is already factored — supports that grow monotonically or
+// shuffle only their tail reuse a long prefix and pay O(m k) for the new
+// columns.  A support with little overlap (CoSaMP's merged candidate
+// sets change wholesale between iterations) would rebuild the MGS ladder
+// column-by-column, which is slower than one dense Householder
+// factorization, so it takes the dense path and leaves the cache intact
+// for the next caller.  Numerically dependent columns also fall back to
+// the dense / ridge path.
+Vector cached_least_squares(linalg::SupportQrCache& cache, const Matrix& a,
+                            const std::vector<std::size_t>& support,
+                            std::span<const double> y) {
+  // An empty cache accepts a small support outright (the one-time cost of
+  // seeding the ladder is what later prefix reuse amortizes); merged-size
+  // supports (> m/2 columns) are never worth seeding with.
+  const bool seed =
+      cache.qr().size() == 0 && 2 * support.size() <= a.rows();
+  if ((seed || 2 * cache.common_prefix(support) >= support.size()) &&
+      cache.refit(support)) {
+    return cache.solve(y);
+  }
+  return least_squares_or_ridge(a.select_cols(support), y);
+}
+
 }  // namespace
+
+std::vector<std::size_t> clamp_candidates_by_proxy(
+    std::vector<std::size_t> candidates, std::span<const double> proxy,
+    std::size_t max_count) {
+  if (candidates.size() <= max_count) return candidates;
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::size_t lhs, std::size_t rhs) {
+              const double pl = std::abs(proxy[lhs]);
+              const double pr = std::abs(proxy[rhs]);
+              if (pl != pr) return pl > pr;
+              return lhs < rhs;
+            });
+  candidates.resize(max_count);
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
 
 SparseSolution cosamp_solve(const Matrix& a, std::span<const double> y,
                             const CosampOptions& opts) {
@@ -62,9 +119,13 @@ SparseSolution cosamp_solve(const Matrix& a, std::span<const double> y,
   Vector coef;
   Vector r(y.begin(), y.end());
   const double y_norm = std::max(norm2(y), 1e-300);
+  // Best iterate seen so far; starts at the zero solution so the
+  // returned (support, coefficients, residual_norm) triple is always
+  // self-consistent even when no iteration improves on it.
   double best_res = norm2(r);
   std::vector<std::size_t> best_support;
   Vector best_coef;
+  linalg::SupportQrCache qr_cache(a);
 
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
     if (poll_cancelled(opts.cancel)) break;
@@ -78,11 +139,11 @@ SparseSolution cosamp_solve(const Matrix& a, std::span<const double> y,
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
-    // Least squares on the merged set cannot exceed M columns.
-    if (candidates.size() > m) candidates.resize(m);
+    // Least squares on the merged set cannot exceed M columns; keep the
+    // strongest correlations, not the lowest-numbered ones.
+    candidates = clamp_candidates_by_proxy(std::move(candidates), proxy, m);
 
-    const Matrix a_merged = a.select_cols(candidates);
-    const Vector c_merged = least_squares_or_ridge(a_merged, y);
+    const Vector c_merged = cached_least_squares(qr_cache, a, candidates, y);
 
     // Prune back to the K strongest.
     const auto keep = top_k_by_magnitude(c_merged, k);
@@ -91,8 +152,7 @@ SparseSolution cosamp_solve(const Matrix& a, std::span<const double> y,
       new_support[i] = candidates[keep[i]];
     }
     std::sort(new_support.begin(), new_support.end());
-    const Matrix a_sub = a.select_cols(new_support);
-    const Vector c_sub = least_squares_or_ridge(a_sub, y);
+    const Vector c_sub = cached_least_squares(qr_cache, a, new_support, y);
 
     support = std::move(new_support);
     coef = c_sub;
@@ -108,13 +168,11 @@ SparseSolution cosamp_solve(const Matrix& a, std::span<const double> y,
     }
   }
 
-  if (!best_support.empty()) {
-    support = best_support;
-    coef = best_coef;
-  }
-  sol.support = support;
-  for (std::size_t s = 0; s < support.size(); ++s) {
-    sol.coefficients[support[s]] = coef[s];
+  // Return the best iterate unconditionally — an empty best_support
+  // means the zero solution, whose residual is exactly best_res.
+  sol.support = best_support;
+  for (std::size_t s = 0; s < best_support.size(); ++s) {
+    sol.coefficients[best_support[s]] = best_coef[s];
   }
   sol.residual_norm = best_res;
   return sol;
@@ -137,7 +195,7 @@ SparseSolution iht_solve(const Matrix& a, std::span<const double> y,
   const double y_norm = std::max(norm2(y), 1e-300);
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
     if (poll_cancelled(opts.cancel)) break;
-    const Vector ax = a * x;
+    const Vector ax = sparse_times(a, x);  // x is k-sparse after thresholding
     const Vector r = subtract(y, ax);
     if (norm2(r) <= opts.residual_tol * y_norm) break;
     ++sol.iterations;
@@ -159,7 +217,7 @@ SparseSolution iht_solve(const Matrix& a, std::span<const double> y,
       Vector g_s(n, 0.0);
       for (std::size_t j : working) g_s[j] = grad[j];
       const double num = linalg::dot(g_s, g_s);
-      const Vector ag = a * g_s;
+      const Vector ag = sparse_times(a, g_s);  // g_s lives on the working set
       const double den = linalg::dot(ag, ag);
       mu = den > 1e-300 ? num / den : 1.0;
     }
@@ -172,7 +230,18 @@ SparseSolution iht_solve(const Matrix& a, std::span<const double> y,
   for (std::size_t j = 0; j < n; ++j) {
     if (x[j] != 0.0) sol.support.push_back(j);
   }
-  sol.residual_norm = norm2(subtract(y, a * x));
+  if (opts.debias && !sol.support.empty()) {
+    // Hard thresholding biases surviving magnitudes toward zero; a final
+    // least-squares refit on the selected support (same support, better
+    // coefficients) removes the bias.  Routed through the incremental
+    // factorization cache; dense/ridge fallback on dependent columns.
+    linalg::SupportQrCache qr_cache(a);
+    const Vector c = cached_least_squares(qr_cache, a, sol.support, y);
+    for (std::size_t s = 0; s < sol.support.size(); ++s) {
+      sol.coefficients[sol.support[s]] = c[s];
+    }
+  }
+  sol.residual_norm = norm2(subtract(y, sparse_times(a, sol.coefficients)));
   return sol;
 }
 

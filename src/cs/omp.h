@@ -33,6 +33,9 @@ struct SparseSolution {
   Vector coefficients;                ///< full-length alpha (N), zeros off-support
   std::vector<std::size_t> support;   ///< selected column indices J, in pick order
   double residual_norm = 0.0;         ///< final ||y - A alpha||_2
+  /// Greedy iterations actually performed, including a final iteration
+  /// whose atom was rejected by min_improvement — i.e. work done, not
+  /// atoms kept.  Accepted atoms = support.size().
   std::size_t iterations = 0;
 };
 

@@ -4,7 +4,139 @@
 #include <cmath>
 #include <stdexcept>
 
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
 namespace sensedroid::linalg {
+
+namespace {
+
+// Blocked saxpy sweep for A^T v: out[c] += sum over a block of rows of
+// a(r, c) * v[r], streaming the matrix row-contiguously (one pass per
+// 8 input rows, with 4/2/1-row tail blocks so short remainders do not
+// degenerate into one full output sweep per row).  Straight-line, no
+// zero-skip: 0 * NaN must stay NaN.
+//
+// The intrinsic path exists because with runtime strides the
+// autovectorizer peels/epilogues each strip, which costs ~20% on the
+// m=30, n=256 Fig. 4 regime where this kernel is the single largest
+// term of an OMP solve.  256-bit vectors are deliberate: 512-bit FMA
+// throttles the clock on the build machines this was tuned on.
+#if defined(__AVX2__) && defined(__FMA__)
+void saxpy_sweep(const double* __restrict d, const double* __restrict v,
+                 double* __restrict o, std::size_t rows, std::size_t cols) {
+  std::size_t r = 0;
+  for (; r + 8 <= rows; r += 8) {
+    const double* p = d + r * cols;
+    const __m256d v0 = _mm256_set1_pd(v[r]), v1 = _mm256_set1_pd(v[r + 1]),
+                  v2 = _mm256_set1_pd(v[r + 2]), v3 = _mm256_set1_pd(v[r + 3]),
+                  v4 = _mm256_set1_pd(v[r + 4]), v5 = _mm256_set1_pd(v[r + 5]),
+                  v6 = _mm256_set1_pd(v[r + 6]), v7 = _mm256_set1_pd(v[r + 7]);
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      // Two accumulator chains per tile: a single chain of 8 dependent
+      // FMAs is latency-bound (~4 cycles each), not load-bound.
+      __m256d acc0 = _mm256_loadu_pd(o + c);
+      __m256d acc1 = _mm256_setzero_pd();
+      acc0 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(p + c), acc0);
+      acc1 = _mm256_fmadd_pd(v1, _mm256_loadu_pd(p + c + cols), acc1);
+      acc0 = _mm256_fmadd_pd(v2, _mm256_loadu_pd(p + c + 2 * cols), acc0);
+      acc1 = _mm256_fmadd_pd(v3, _mm256_loadu_pd(p + c + 3 * cols), acc1);
+      acc0 = _mm256_fmadd_pd(v4, _mm256_loadu_pd(p + c + 4 * cols), acc0);
+      acc1 = _mm256_fmadd_pd(v5, _mm256_loadu_pd(p + c + 5 * cols), acc1);
+      acc0 = _mm256_fmadd_pd(v6, _mm256_loadu_pd(p + c + 6 * cols), acc0);
+      acc1 = _mm256_fmadd_pd(v7, _mm256_loadu_pd(p + c + 7 * cols), acc1);
+      _mm256_storeu_pd(o + c, _mm256_add_pd(acc0, acc1));
+    }
+    for (; c < cols; ++c) {
+      o[c] += p[c] * v[r] + p[c + cols] * v[r + 1] +
+              p[c + 2 * cols] * v[r + 2] + p[c + 3 * cols] * v[r + 3] +
+              p[c + 4 * cols] * v[r + 4] + p[c + 5 * cols] * v[r + 5] +
+              p[c + 6 * cols] * v[r + 6] + p[c + 7 * cols] * v[r + 7];
+    }
+  }
+  for (; r + 4 <= rows; r += 4) {
+    const double* p = d + r * cols;
+    const __m256d v0 = _mm256_set1_pd(v[r]), v1 = _mm256_set1_pd(v[r + 1]),
+                  v2 = _mm256_set1_pd(v[r + 2]), v3 = _mm256_set1_pd(v[r + 3]);
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      __m256d acc0 = _mm256_loadu_pd(o + c);
+      __m256d acc1 = _mm256_setzero_pd();
+      acc0 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(p + c), acc0);
+      acc1 = _mm256_fmadd_pd(v1, _mm256_loadu_pd(p + c + cols), acc1);
+      acc0 = _mm256_fmadd_pd(v2, _mm256_loadu_pd(p + c + 2 * cols), acc0);
+      acc1 = _mm256_fmadd_pd(v3, _mm256_loadu_pd(p + c + 3 * cols), acc1);
+      _mm256_storeu_pd(o + c, _mm256_add_pd(acc0, acc1));
+    }
+    for (; c < cols; ++c) {
+      o[c] += p[c] * v[r] + p[c + cols] * v[r + 1] +
+              p[c + 2 * cols] * v[r + 2] + p[c + 3 * cols] * v[r + 3];
+    }
+  }
+  for (; r + 2 <= rows; r += 2) {
+    const double* p = d + r * cols;
+    const __m256d v0 = _mm256_set1_pd(v[r]), v1 = _mm256_set1_pd(v[r + 1]);
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      __m256d acc = _mm256_loadu_pd(o + c);
+      acc = _mm256_fmadd_pd(v0, _mm256_loadu_pd(p + c), acc);
+      acc = _mm256_fmadd_pd(v1, _mm256_loadu_pd(p + c + cols), acc);
+      _mm256_storeu_pd(o + c, acc);
+    }
+    for (; c < cols; ++c) o[c] += p[c] * v[r] + p[c + cols] * v[r + 1];
+  }
+  for (; r < rows; ++r) {
+    const double* p = d + r * cols;
+    const __m256d vr = _mm256_set1_pd(v[r]);
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      _mm256_storeu_pd(o + c, _mm256_fmadd_pd(vr, _mm256_loadu_pd(p + c),
+                                              _mm256_loadu_pd(o + c)));
+    }
+    for (; c < cols; ++c) o[c] += p[c] * v[r];
+  }
+}
+#else
+void saxpy_sweep(const double* __restrict d, const double* __restrict v,
+                 double* __restrict o, std::size_t rows, std::size_t cols) {
+  std::size_t r = 0;
+  for (; r + 8 <= rows; r += 8) {
+    const double* __restrict p0 = d + r * cols;
+    const double v0 = v[r], v1 = v[r + 1], v2 = v[r + 2], v3 = v[r + 3];
+    const double v4 = v[r + 4], v5 = v[r + 5], v6 = v[r + 6], v7 = v[r + 7];
+    for (std::size_t c = 0; c < cols; ++c) {
+      o[c] += p0[c] * v0 + p0[c + cols] * v1 + p0[c + 2 * cols] * v2 +
+              p0[c + 3 * cols] * v3 + p0[c + 4 * cols] * v4 +
+              p0[c + 5 * cols] * v5 + p0[c + 6 * cols] * v6 +
+              p0[c + 7 * cols] * v7;
+    }
+  }
+  for (; r + 4 <= rows; r += 4) {
+    const double* __restrict p0 = d + r * cols;
+    const double v0 = v[r], v1 = v[r + 1], v2 = v[r + 2], v3 = v[r + 3];
+    for (std::size_t c = 0; c < cols; ++c) {
+      o[c] += p0[c] * v0 + p0[c + cols] * v1 + p0[c + 2 * cols] * v2 +
+              p0[c + 3 * cols] * v3;
+    }
+  }
+  for (; r + 2 <= rows; r += 2) {
+    const double* __restrict p0 = d + r * cols;
+    const double v0 = v[r], v1 = v[r + 1];
+    for (std::size_t c = 0; c < cols; ++c) {
+      o[c] += p0[c] * v0 + p0[c + cols] * v1;
+    }
+  }
+  for (; r < rows; ++r) {
+    const double* __restrict row = d + r * cols;
+    const double vr = v[r];
+    for (std::size_t c = 0; c < cols; ++c) o[c] += row[c] * vr;
+  }
+}
+#endif
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -73,14 +205,29 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
     throw std::invalid_argument("Matrix::operator*: dimension mismatch");
   }
   Matrix out(rows_, rhs.cols_);
-  // i-k-j loop order keeps both reads and writes streaming row-major.
+  const std::size_t p = rhs.cols_;
+  // i-k-j loop order keeps both reads and writes streaming row-major;
+  // the k-dimension is blocked 4-wide so each sweep of the output row
+  // folds four rhs rows in one pass.  Straight-line (no zero-skip): a
+  // 0 * NaN product must poison the output, and a branch per element
+  // costs more than the multiply it saves.
   for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      const double* rr = rhs.data_.data() + k * rhs.cols_;
-      double* oo = out.data_.data() + i * rhs.cols_;
-      for (std::size_t j = 0; j < rhs.cols_; ++j) oo[j] += a * rr[j];
+    const double* __restrict ai = data_.data() + i * cols_;
+    double* __restrict oo = out.data_.data() + i * p;
+    std::size_t k = 0;
+    for (; k + 4 <= cols_; k += 4) {
+      const double a0 = ai[k], a1 = ai[k + 1], a2 = ai[k + 2],
+                   a3 = ai[k + 3];
+      const double* __restrict r0 = rhs.data_.data() + k * p;
+      for (std::size_t j = 0; j < p; ++j) {
+        oo[j] += a0 * r0[j] + a1 * r0[j + p] + a2 * r0[j + 2 * p] +
+                 a3 * r0[j + 3 * p];
+      }
+    }
+    for (; k < cols_; ++k) {
+      const double a = ai[k];
+      const double* __restrict rr = rhs.data_.data() + k * p;
+      for (std::size_t j = 0; j < p; ++j) oo[j] += a * rr[j];
     }
   }
   return out;
@@ -140,27 +287,114 @@ Matrix& Matrix::operator*=(double s) {
 }
 
 Vector Matrix::transpose_times(std::span<const double> v) const {
+  Vector out(cols_, 0.0);
+  transpose_times_into(v, out);
+  return out;
+}
+
+void Matrix::transpose_times_into(std::span<const double> v,
+                                  std::span<double> out) const {
   if (v.size() != rows_) {
     throw std::invalid_argument("Matrix::transpose_times: dimension mismatch");
   }
-  Vector out(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    const double vr = v[r];
-    if (vr == 0.0) continue;
-    for (std::size_t c = 0; c < cols_; ++c) out[c] += row[c] * vr;
+  if (out.size() != cols_) {
+    throw std::invalid_argument("Matrix::transpose_times_into: out size");
   }
-  return out;
+  std::fill(out.begin(), out.end(), 0.0);
+  saxpy_sweep(data_.data(), v.data(), out.data(), rows_, cols_);
+}
+
+void Matrix::transpose_times_sqnorms_into(std::span<const double> v,
+                                          std::span<double> out,
+                                          std::span<double> sqnorms) const {
+  if (v.size() != rows_) {
+    throw std::invalid_argument("Matrix::transpose_times: dimension mismatch");
+  }
+  if (out.size() != cols_ || sqnorms.size() != cols_) {
+    throw std::invalid_argument(
+        "Matrix::transpose_times_sqnorms_into: out size");
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  std::fill(sqnorms.begin(), sqnorms.end(), 0.0);
+  double* __restrict o = out.data();
+  double* __restrict s = sqnorms.data();
+  const double* __restrict d = data_.data();
+  std::size_t r = 0;
+  for (; r + 4 <= rows_; r += 4) {
+    const double* __restrict p0 = d + r * cols_;
+    const double v0 = v[r], v1 = v[r + 1], v2 = v[r + 2], v3 = v[r + 3];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double a0 = p0[c], a1 = p0[c + cols_];
+      const double a2 = p0[c + 2 * cols_], a3 = p0[c + 3 * cols_];
+      o[c] += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+      s[c] += a0 * a0 + a1 * a1 + a2 * a2 + a3 * a3;
+    }
+  }
+  for (; r < rows_; ++r) {
+    const double* __restrict p0 = d + r * cols_;
+    const double vr = v[r];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double a0 = p0[c];
+      o[c] += a0 * vr;
+      s[c] += a0 * a0;
+    }
+  }
+}
+
+void Matrix::col_sqnorms_into(std::span<double> out) const {
+  if (out.size() != cols_) {
+    throw std::invalid_argument("Matrix::col_sqnorms_into: out size");
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  // Same blocked-sweep structure as transpose_times_into: the naive
+  // row-at-a-time accumulation re-reads out[] once per row, which at
+  // m = 30 costs more than the matrix itself.
+  double* __restrict o = out.data();
+  const double* __restrict d = data_.data();
+  std::size_t r = 0;
+  for (; r + 8 <= rows_; r += 8) {
+    const double* __restrict p0 = d + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      o[c] += p0[c] * p0[c] + p0[c + cols_] * p0[c + cols_] +
+              p0[c + 2 * cols_] * p0[c + 2 * cols_] +
+              p0[c + 3 * cols_] * p0[c + 3 * cols_] +
+              p0[c + 4 * cols_] * p0[c + 4 * cols_] +
+              p0[c + 5 * cols_] * p0[c + 5 * cols_] +
+              p0[c + 6 * cols_] * p0[c + 6 * cols_] +
+              p0[c + 7 * cols_] * p0[c + 7 * cols_];
+    }
+  }
+  for (; r + 2 <= rows_; r += 2) {
+    const double* __restrict p0 = d + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      o[c] += p0[c] * p0[c] + p0[c + cols_] * p0[c + cols_];
+    }
+  }
+  for (; r < rows_; ++r) {
+    const double* __restrict row = d + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) o[c] += row[c] * row[c];
+  }
+}
+
+void Matrix::col_into(std::size_t c, std::span<double> out) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::col_into");
+  if (out.size() != rows_) {
+    throw std::invalid_argument("Matrix::col_into: out size");
+  }
+  const double* src = data_.data() + c;
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = src[r * cols_];
 }
 
 Matrix Matrix::gram() const {
   Matrix g(cols_, cols_);
+  // Upper-triangle rank-1 accumulation per input row, straight-line:
+  // the old `a == 0.0` skip silently masked NaN/Inf entries (0 * NaN
+  // never reached the sum) and paid a branch per element.
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
+    const double* __restrict row = data_.data() + r * cols_;
     for (std::size_t i = 0; i < cols_; ++i) {
       const double a = row[i];
-      if (a == 0.0) continue;
-      double* gi = g.data_.data() + i * cols_;
+      double* __restrict gi = g.data_.data() + i * cols_;
       for (std::size_t j = i; j < cols_; ++j) gi[j] += a * row[j];
     }
   }

@@ -96,6 +96,28 @@ class Matrix {
   /// A^T * v without forming the transpose.
   Vector transpose_times(std::span<const double> v) const;
 
+  /// A^T * v into a caller-owned buffer of size cols() — the hot-loop
+  /// form used by the greedy solvers (no allocation per call).  Throws
+  /// std::invalid_argument on size mismatch.
+  void transpose_times_into(std::span<const double> v,
+                            std::span<double> out) const;
+
+  /// Copies column c into a caller-owned buffer of size rows().
+  void col_into(std::size_t c, std::span<double> out) const;
+
+  /// Squared Euclidean norm of every column into a caller-owned buffer of
+  /// size cols(), in one blocked sweep over the matrix.  Throws
+  /// std::invalid_argument on size mismatch.
+  void col_sqnorms_into(std::span<double> out) const;
+
+  /// Fused A^T * v and column squared norms in a single sweep over the
+  /// matrix — the two outputs share one pass of memory traffic, which is
+  /// what the greedy solvers' first iteration is bound by.  Equivalent to
+  /// transpose_times_into(v, out) followed by col_sqnorms_into(sqnorms).
+  void transpose_times_sqnorms_into(std::span<const double> v,
+                                    std::span<double> out,
+                                    std::span<double> sqnorms) const;
+
   /// Gram matrix A^T A (cols x cols), computed directly.
   Matrix gram() const;
 

@@ -3,11 +3,15 @@
 // analysis relies on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "cs/basis_pursuit.h"
 #include "cs/least_squares.h"
+#include "cs/measurement.h"
 #include "cs/omp.h"
 #include "cs/simplex.h"
 #include "linalg/basis.h"
@@ -315,3 +319,176 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(128, 48, 5),
                       std::make_tuple(96, 40, 4),
                       std::make_tuple(256, 64, 6)));
+
+// ------------------------------------------- incremental OMP refits ----
+//
+// omp_solve now refits through linalg::UpdatableQR (append/downdate)
+// instead of a from-scratch Householder QR per iteration.  These tests
+// pin the rewrite to a reference implementation of the old algorithm:
+// supports must match atom for atom and coefficients to 1e-12.
+
+namespace {
+
+// The pre-incremental OMP: select_cols + dense QR refit every iteration,
+// full residual recompute, dense re-refit on the min_improvement undo.
+sc::SparseSolution reference_omp(const sl::Matrix& a,
+                                 std::span<const double> y,
+                                 const sc::OmpOptions& opts) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t k_max =
+      opts.max_sparsity == 0 ? std::min(m, n)
+                             : std::min({opts.max_sparsity, m, n});
+  sl::Vector col_norm(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) col_norm[j] += a(i, j) * a(i, j);
+  }
+  for (double& c : col_norm) c = std::sqrt(c);
+
+  sc::SparseSolution sol;
+  sol.coefficients.assign(n, 0.0);
+  sl::Vector residual(y.begin(), y.end());
+  const double y_norm = sl::norm2(y);
+  double prev_res = y_norm;
+  std::vector<bool> picked(n, false);
+  sl::Vector coef;
+
+  while (sol.support.size() < k_max) {
+    if (sl::norm2(residual) <= opts.residual_tol * std::max(y_norm, 1e-300)) {
+      break;
+    }
+    const sl::Vector corr = a.transpose_times(residual);
+    std::size_t best = n;
+    double best_val = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (picked[j] || col_norm[j] == 0.0) continue;
+      const double v = std::abs(corr[j]) / col_norm[j];
+      if (v > best_val) {
+        best_val = v;
+        best = j;
+      }
+    }
+    if (best == n || best_val == 0.0) break;
+    picked[best] = true;
+    sol.support.push_back(best);
+
+    const sl::Matrix a_sub = a.select_cols(sol.support);
+    coef = sc::solve_ols(a_sub, y);
+    residual.assign(y.begin(), y.end());
+    const sl::Vector fitted = a_sub * coef;
+    for (std::size_t i = 0; i < m; ++i) residual[i] -= fitted[i];
+
+    const double res = sl::norm2(residual);
+    if (opts.min_improvement > 0.0 &&
+        prev_res - res < opts.min_improvement * std::max(y_norm, 1e-300)) {
+      picked[best] = false;
+      sol.support.pop_back();
+      if (!sol.support.empty()) {
+        const sl::Matrix a_prev = a.select_cols(sol.support);
+        coef = sc::solve_ols(a_prev, y);
+        residual.assign(y.begin(), y.end());
+        const sl::Vector f = a_prev * coef;
+        for (std::size_t i = 0; i < m; ++i) residual[i] -= f[i];
+      } else {
+        coef.clear();
+        residual.assign(y.begin(), y.end());
+      }
+      break;
+    }
+    prev_res = res;
+  }
+  for (std::size_t i = 0; i < sol.support.size(); ++i) {
+    sol.coefficients[sol.support[i]] = coef[i];
+  }
+  sol.residual_norm = sl::norm2(residual);
+  return sol;
+}
+
+void expect_equivalent(const sc::SparseSolution& got,
+                       const sc::SparseSolution& ref) {
+  ASSERT_EQ(got.support, ref.support);  // bit-identical pick sequence
+  ASSERT_EQ(got.coefficients.size(), ref.coefficients.size());
+  for (std::size_t j = 0; j < got.coefficients.size(); ++j) {
+    EXPECT_NEAR(got.coefficients[j], ref.coefficients[j], 1e-12)
+        << "coefficient " << j;
+  }
+  EXPECT_NEAR(got.residual_norm, ref.residual_norm, 1e-10);
+}
+
+}  // namespace
+
+TEST(OmpIncremental, MatchesReferenceOnFig4Fixture) {
+  // The paper's Fig. 4 regime: 256-point field, DCT basis, ~30 random
+  // point samples, ~10-sparse spectrum.
+  const std::size_t n = 256, m = 30, k = 10;
+  const auto basis = sl::dct_basis(n);
+  sl::Rng rng(404);
+  auto alpha = random_sparse(n, k, rng);
+  const auto x = basis * alpha;
+  auto plan = sc::MeasurementPlan::random(n, m, rng);
+  const auto meas = sc::measure_exact(x, std::move(plan));
+  const sl::Matrix a = meas.plan.select_rows(basis);
+  const sc::OmpOptions opts{.max_sparsity = k};
+  expect_equivalent(sc::omp_solve(a, meas.values, opts),
+                    reference_omp(a, meas.values, opts));
+}
+
+TEST(OmpIncremental, MatchesReferenceOnRandomDictionaries) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::size_t n = 64 + 16 * static_cast<std::size_t>(seed % 4);
+    const std::size_t m = n / 3, k = 5;
+    const auto a = random_matrix(m, n, 7000 + seed);
+    sl::Rng rng(7100 + seed);
+    const auto alpha = random_sparse(n, k, rng);
+    auto y = a * alpha;
+    // Mild noise so the refits are doing real least-squares work.
+    for (double& v : y) v += 0.01 * rng.gaussian();
+    const sc::OmpOptions opts{.max_sparsity = k};
+    SCOPED_TRACE(seed);
+    expect_equivalent(sc::omp_solve(a, y, opts), reference_omp(a, y, opts));
+  }
+}
+
+TEST(OmpIncremental, DowndateAfterUndoMatchesReference) {
+  // Noisy observations + a min_improvement floor force the undo branch:
+  // the last atom is rejected, the engine downdates, and the returned
+  // fit must equal the dense refit on the retained support.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::size_t n = 96, m = 32, k = 4;
+    const auto a = random_matrix(m, n, 7300 + seed);
+    sl::Rng rng(7400 + seed);
+    const auto alpha = random_sparse(n, k, rng);
+    auto y = a * alpha;
+    for (double& v : y) v += 0.05 * rng.gaussian();
+    const sc::OmpOptions opts{.max_sparsity = 3 * k,
+                              .min_improvement = 0.05};
+    SCOPED_TRACE(seed);
+    const auto got = sc::omp_solve(a, y, opts);
+    const auto ref = reference_omp(a, y, opts);
+    expect_equivalent(got, ref);
+    // This regime must actually exercise the undo: fewer atoms accepted
+    // than iterations performed.
+    EXPECT_LE(got.support.size(), got.iterations);
+  }
+}
+
+TEST(OmpIncremental, IterationsCountPerformedWork) {
+  // Exact recovery, no undo: iterations == accepted atoms.
+  const auto a = random_matrix(24, 48, 7700);
+  sl::Rng rng(7701);
+  const auto alpha = random_sparse(48, 4, rng);
+  const auto y = a * alpha;
+  const auto sol = sc::omp_solve(a, y, {.max_sparsity = 4});
+  EXPECT_EQ(sol.iterations, sol.support.size());
+
+  // Forced undo: the rejected iteration still counts as performed, so
+  // iterations exceeds the accepted-atom count by exactly one.
+  sl::Rng rng2(7702);
+  auto y2 = a * alpha;
+  for (double& v : y2) v += 0.05 * rng2.gaussian();
+  const auto sol2 =
+      sc::omp_solve(a, y2, {.max_sparsity = 12, .min_improvement = 0.2});
+  if (sol2.iterations > 0) {
+    EXPECT_EQ(sol2.iterations, sol2.support.size() + 1);
+  }
+}

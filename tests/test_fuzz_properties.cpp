@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "cs/greedy_variants.h"
 #include "cs/omp.h"
 #include "cs/simplex.h"
 #include "field/spatial_field.h"
@@ -215,6 +217,100 @@ TEST_P(SeededFuzz, OmpResidualNeverExceedsSignal) {
     const auto sol = sc::omp_solve(a, y, {.max_sparsity = m / 2});
     EXPECT_LE(sol.residual_norm, sl::norm2(y) + 1e-9);
     EXPECT_LE(sol.support.size(), m / 2 + 1);
+  }
+}
+
+TEST_P(SeededFuzz, KernelsPropagateNanAndInf) {
+  // The kernels used to skip zero factors (`if (x == 0.0) continue`),
+  // which silently masked NaN/Inf operands whose partner was an exact
+  // zero: 0 * NaN never reached the accumulator.  IEEE semantics demand
+  // the poison propagates; these properties pin exactly the cases the
+  // skip branch used to hide.
+  sl::Rng rng(GetParam() ^ 0xBADF00D);
+  const double poisons[] = {std::nan(""),
+                            std::numeric_limits<double>::infinity()};
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t m = 3 + rng.uniform_index(8);
+    const std::size_t n = 3 + rng.uniform_index(8);
+    sl::Matrix a(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.gaussian();
+    }
+    const std::size_t pr = rng.uniform_index(m);
+    const std::size_t pc = rng.uniform_index(n);
+    const double poison = poisons[i % 2];
+
+    // transpose_times: poisoned entry multiplied by an exact zero.
+    {
+      sl::Matrix ap = a;
+      ap(pr, pc) = poison;
+      sl::Vector v = rng.gaussian_vector(m);
+      v[pr] = 0.0;  // the old kernel skipped this row entirely
+      const auto out = ap.transpose_times(v);
+      EXPECT_TRUE(std::isnan(out[pc]))
+          << "0 * " << poison << " must poison column " << pc;
+    }
+
+    // operator*(Matrix): exact zero in the lhs against a poisoned rhs row.
+    {
+      sl::Matrix rhs(n, 4);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) rhs(r, c) = rng.gaussian();
+      }
+      sl::Matrix lhs = a;
+      lhs(pr, pc) = 0.0;  // the old kernel skipped this product
+      rhs(pc, 1) = poison;
+      const auto out = lhs * rhs;
+      EXPECT_TRUE(std::isnan(out(pr, 1)));
+    }
+
+    // gram: a zero paired with a poison inside one row.
+    if (n >= 2) {
+      sl::Matrix ap = a;
+      const std::size_t other = (pc + 1) % n;
+      ap(pr, pc) = 0.0;    // the old kernel skipped this factor
+      ap(pr, other) = poison;
+      const auto g = ap.gram();
+      EXPECT_TRUE(std::isnan(g.at(pc, other)));
+      EXPECT_TRUE(std::isnan(g.at(other, pc)));
+    }
+
+    // reconstruct: a poisoned basis entry on a support atom must reach
+    // the output even when that atom's coefficient is exactly zero.
+    {
+      sl::Matrix basis(m, n);
+      for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < n; ++c) basis(r, c) = rng.gaussian();
+      }
+      basis(pr, pc) = poison;
+      sc::SparseSolution sol;
+      sol.coefficients.assign(n, 0.0);
+      sol.support = {pc};  // on support, coefficient 0.0
+      const auto x = sc::reconstruct(basis, sol);
+      EXPECT_TRUE(std::isnan(x[pr]));
+    }
+  }
+}
+
+TEST_P(SeededFuzz, CosampTripleStaysSelfConsistent) {
+  // The returned (support, coefficients, residual_norm) must describe
+  // one solution — the regression guard for the best-iterate mismatch.
+  sl::Rng rng(GetParam() ^ 0xC05A);
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t m = 8 + rng.uniform_index(16);
+    const std::size_t n = m + 4 + rng.uniform_index(30);
+    const std::size_t k = 1 + rng.uniform_index(m / 3);
+    sl::Matrix a(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.gaussian();
+    }
+    auto y = rng.gaussian_vector(m);  // pure noise: hard instances
+    const auto sol = sc::cosamp_solve(a, y, {.sparsity = k});
+    const auto fitted = a * sol.coefficients;
+    EXPECT_NEAR(sol.residual_norm,
+                sl::norm2(sl::subtract(y, fitted)),
+                1e-9 * std::max(1.0, sl::norm2(y)));
+    EXPECT_LE(sol.residual_norm, sl::norm2(y) + 1e-9);
   }
 }
 

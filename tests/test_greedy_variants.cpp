@@ -192,3 +192,91 @@ TEST(Interpolation, Validation) {
   sl::Vector two(2);
   EXPECT_THROW(sb::idw_reconstruct(two, ok, 4, 4), std::invalid_argument);
 }
+
+// ------------------------------------ greedy-solver correctness fixes ----
+
+TEST(Cosamp, ReturnsConsistentTripleWhenNothingImproves) {
+  // Every dictionary column lives in span{e1, e2}; the signal lives in
+  // span{e3, e4}, so A^T y == 0 exactly and no iterate can beat the zero
+  // solution.  The old code returned the last iterate's support and
+  // coefficients paired with the *initial* residual norm — an
+  // inconsistent triple.  The fix returns the best iterate whole: the
+  // zero solution with residual ||y||.
+  const std::size_t m = 4, n = 6;
+  sl::Matrix a(m, n, 0.0);
+  sl::Rng rng(31);
+  for (std::size_t j = 0; j < n; ++j) {
+    a(0, j) = rng.gaussian();
+    a(1, j) = rng.gaussian();
+  }
+  sl::Vector y(m, 0.0);
+  y[2] = 3.0;
+  y[3] = 4.0;
+
+  const auto sol = sc::cosamp_solve(a, y, {.sparsity = 2});
+  EXPECT_TRUE(sol.support.empty());
+  EXPECT_NEAR(sol.residual_norm, 5.0, 1e-12);
+  for (double c : sol.coefficients) EXPECT_EQ(c, 0.0);
+  // Self-consistency: residual_norm matches y - A * coefficients.
+  const auto fitted = a * sol.coefficients;
+  EXPECT_NEAR(sol.residual_norm, sl::norm2(sl::subtract(y, fitted)), 1e-12);
+}
+
+TEST(Cosamp, ResidualNormAlwaysMatchesReturnedCoefficients) {
+  // Property form of the same contract across noisy random instances.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::size_t n = 48, m = 20, k = 4;
+    const auto a = random_matrix(m, n, 4000 + seed);
+    sl::Rng rng(4100 + seed);
+    const auto alpha = random_sparse(n, k, rng);
+    auto y = a * alpha;
+    for (double& v : y) v += 0.3 * rng.gaussian();
+    const auto sol = sc::cosamp_solve(a, y, {.sparsity = k});
+    const auto fitted = a * sol.coefficients;
+    SCOPED_TRACE(seed);
+    EXPECT_NEAR(sol.residual_norm, sl::norm2(sl::subtract(y, fitted)),
+                1e-9 * sl::norm2(y));
+    EXPECT_EQ(sol.support.size(), sl::norm0(sol.coefficients));
+  }
+}
+
+TEST(Cosamp, CandidateTruncationKeepsStrongestProxies) {
+  // 10 candidates, room for 4: the survivors must be the largest |proxy|
+  // values, not the lowest indices.
+  const sl::Vector proxy = {0.1, -9.0, 0.2, 3.0,  -0.3, 8.0,
+                            0.4, -2.0, 7.0, -0.5, 0.6,  0.7};
+  std::vector<std::size_t> cand = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto kept = sc::clamp_candidates_by_proxy(cand, proxy, 4);
+  const std::vector<std::size_t> want = {1, 3, 5, 8};  // |.|: 9, 3, 8, 7
+  EXPECT_EQ(kept, want);
+
+  // Ties break toward the lower index, result stays sorted.
+  const sl::Vector tied = {1.0, 2.0, 2.0, 2.0, 0.5};
+  std::vector<std::size_t> cand2 = {0, 1, 2, 3, 4};
+  const auto kept2 = sc::clamp_candidates_by_proxy(cand2, tied, 2);
+  const std::vector<std::size_t> want2 = {1, 2};
+  EXPECT_EQ(kept2, want2);
+
+  // Under the cap: unchanged.
+  std::vector<std::size_t> cand3 = {7, 3};
+  EXPECT_EQ(sc::clamp_candidates_by_proxy(cand3, proxy, 4), cand3);
+}
+
+// ------------------------------------------------- IHT debias refit ----
+
+TEST(Iht, DebiasRefitsSupportWithoutChangingIt) {
+  const std::size_t n = 96, m = 40, k = 5;
+  sl::Rng rng(51);
+  const auto a = random_matrix(m, n, 52);
+  const auto alpha = random_sparse(n, k, rng);
+  auto y = a * alpha;
+  for (double& v : y) v += 0.05 * rng.gaussian();
+
+  const auto biased =
+      sc::iht_solve(a, y, {.sparsity = k, .debias = false});
+  const auto debiased =
+      sc::iht_solve(a, y, {.sparsity = k, .debias = true});
+  EXPECT_EQ(biased.support, debiased.support);
+  // A least-squares refit on the same support can only tighten the fit.
+  EXPECT_LE(debiased.residual_norm, biased.residual_norm + 1e-12);
+}

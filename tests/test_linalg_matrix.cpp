@@ -1,6 +1,8 @@
 // Unit tests for the dense matrix substrate.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "linalg/matrix.h"
@@ -107,6 +109,54 @@ TEST(Matrix, TransposeTimesAgreesWithExplicitTranspose) {
 TEST(Matrix, GramAgreesWithAtA) {
   sl::Matrix a{{1, 2}, {3, 4}, {5, 6}};
   EXPECT_TRUE(sl::approx_equal(a.gram(), a.transpose() * a));
+}
+
+TEST(Matrix, ColSqnormsMatchPerColumnDots) {
+  // 31 rows exercises the 8/4/2/1-row block tails of the fused sweeps.
+  sl::Matrix a(31, 7);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = static_cast<double>((i * 7 + j * 3) % 11) - 5.0;
+    }
+  }
+  sl::Vector sq(a.cols());
+  a.col_sqnorms_into(sq);
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    const auto c = a.col(j);
+    EXPECT_NEAR(sq[j], sl::dot(c, c), 1e-12) << "column " << j;
+  }
+  sl::Vector wrong(a.cols() + 1);
+  EXPECT_THROW(a.col_sqnorms_into(wrong), std::invalid_argument);
+}
+
+TEST(Matrix, FusedTransposeTimesSqnormsMatchesSeparatePasses) {
+  sl::Matrix a(30, 9);
+  sl::Vector v(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    v[i] = 0.25 * static_cast<double>(i) - 3.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = static_cast<double>((i * 5 + j) % 13) - 6.0;
+    }
+  }
+  sl::Vector out(a.cols()), sq(a.cols());
+  a.transpose_times_sqnorms_into(v, out, sq);
+  sl::Vector out_ref(a.cols()), sq_ref(a.cols());
+  a.transpose_times_into(v, out_ref);
+  a.col_sqnorms_into(sq_ref);
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    EXPECT_NEAR(out[j], out_ref[j], 1e-12) << "corr " << j;
+    EXPECT_NEAR(sq[j], sq_ref[j], 1e-12) << "sqnorm " << j;
+  }
+
+  // A NaN entry must poison both outputs for its column — the fused
+  // sweep is straight-line, no zero-skip masking.
+  a(17, 4) = std::numeric_limits<double>::quiet_NaN();
+  v[17] = 0.0;
+  a.transpose_times_sqnorms_into(v, out, sq);
+  EXPECT_TRUE(std::isnan(out[4]));
+  EXPECT_TRUE(std::isnan(sq[4]));
+  EXPECT_FALSE(std::isnan(out[3]));
+  EXPECT_FALSE(std::isnan(sq[3]));
 }
 
 TEST(Matrix, SelectRowsPicksInOrder) {
