@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-trajectory guard over the committed solver benchmark JSONL.
+
+BENCH_solvers.json accumulates one trajectory point per benchmarked
+change (bench/micro_solvers appends them; see DESIGN.md).  This script
+compares, for every solver key, the two most recent points that report
+that solver and fails when the newest median regressed by more than the
+threshold (default 25%).  It runs as a tier-1 ctest, so a PR that lands
+a slower solver median without also updating the trajectory story fails
+the default lane.
+
+The check is trajectory-vs-trajectory, not a live measurement: it never
+times anything, so it is immune to builder noise.  Appending an honest
+new point that shows a regression is exactly what makes it fire.
+
+Usage: check_regression.py [path-to-jsonl] [max-ratio]
+Exit codes: 0 ok, 1 regression found, 2 malformed input.
+"""
+
+import json
+import sys
+
+
+def load_series(path):
+    """Maps solver name -> list of (label, median_us) in file order."""
+    series = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                point = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"check_regression: {path}:{lineno}: bad JSON: {exc}"
+                ) from exc
+            label = point.get("label", f"line {lineno}")
+            medians = point.get("median_us", {})
+            if not isinstance(medians, dict):
+                raise SystemExit(
+                    f"check_regression: {path}:{lineno}: median_us is not "
+                    "an object"
+                )
+            for solver, median in medians.items():
+                if not isinstance(median, (int, float)) or median <= 0:
+                    raise SystemExit(
+                        f"check_regression: {path}:{lineno}: bad median for "
+                        f"{solver!r}: {median!r}"
+                    )
+                series.setdefault(solver, []).append((label, float(median)))
+    return series
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_solvers.json"
+    max_ratio = float(argv[2]) if len(argv) > 2 else 1.25
+    try:
+        series = load_series(path)
+    except OSError as exc:
+        print(f"check_regression: cannot read {path}: {exc}")
+        return 2
+    if not series:
+        print(f"check_regression: no trajectory points in {path}")
+        return 2
+
+    failures = []
+    for solver in sorted(series):
+        points = series[solver]
+        if len(points) < 2:
+            print(f"  {solver}: single point, nothing to compare")
+            continue
+        (prev_label, prev), (last_label, last) = points[-2], points[-1]
+        change = (last / prev - 1.0) * 100.0
+        verdict = "REGRESSED" if last > prev * max_ratio else "ok"
+        print(
+            f"  {solver}: {prev:.3f} us ({prev_label}) -> {last:.3f} us "
+            f"({last_label})  {change:+.1f}%  {verdict}"
+        )
+        if last > prev * max_ratio:
+            failures.append(solver)
+
+    if failures:
+        print(
+            f"check_regression: FAIL — {', '.join(failures)} regressed more "
+            f"than {(max_ratio - 1.0) * 100.0:.0f}% between the latest two "
+            "trajectory points"
+        )
+        return 1
+    print("check_regression: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,38 +3,25 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "linalg/vector_ops.h"
 
 namespace sensedroid::cs {
 
-SparseSolution basis_pursuit(const Matrix& a, std::span<const double> y,
-                             const BasisPursuitOptions& opts) {
-  const std::size_t m = a.rows();
+BpSolution bp_solve(const Matrix& a, std::span<const double> y,
+                    const BasisPursuitOptions& opts) {
   const std::size_t n = a.cols();
-  if (y.size() != m) {
-    throw std::invalid_argument("basis_pursuit: y size mismatch");
-  }
 
-  // Build min 1^T [u; v] s.t. [A, -A][u; v] = y, u,v >= 0.
-  LpProblem lp;
-  lp.a = Matrix(m, 2 * n);
-  for (std::size_t r = 0; r < m; ++r) {
-    for (std::size_t c = 0; c < n; ++c) {
-      lp.a(r, c) = a(r, c);
-      lp.a(r, n + c) = -a(r, c);
-    }
-  }
-  lp.b.assign(y.begin(), y.end());
-  lp.c.assign(2 * n, 1.0);
+  LpSolution lps = simplex_solve_bp(a, y, opts.lp);
 
-  const LpSolution lps = simplex_solve(lp, opts.lp);
-  if (lps.status != LpStatus::kOptimal) {
-    throw std::runtime_error(std::string("basis_pursuit: LP ") +
-                             to_string(lps.status));
-  }
+  BpSolution out;
+  out.status = lps.status;
+  out.basis = std::move(lps.basis);
+  out.iterations = lps.iterations;
+  if (lps.status != LpStatus::kOptimal) return out;
 
-  SparseSolution sol;
+  SparseSolution& sol = out.solution;
   sol.coefficients.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     sol.coefficients[i] = lps.x[i] - lps.x[n + i];
@@ -48,7 +35,17 @@ SparseSolution basis_pursuit(const Matrix& a, std::span<const double> y,
 
   const Vector fitted = a * sol.coefficients;
   sol.residual_norm = linalg::norm2(linalg::subtract(fitted, y));
-  return sol;
+  return out;
+}
+
+SparseSolution basis_pursuit(const Matrix& a, std::span<const double> y,
+                             const BasisPursuitOptions& opts) {
+  BpSolution bp = bp_solve(a, y, opts);
+  if (bp.status != LpStatus::kOptimal) {
+    throw std::runtime_error(std::string("basis_pursuit: LP ") +
+                             to_string(bp.status));
+  }
+  return std::move(bp.solution);
 }
 
 }  // namespace sensedroid::cs

@@ -10,8 +10,8 @@ namespace sensedroid::cs {
 /// Cooperative cancellation flag.  One writer (any thread) flips it; any
 /// number of solver loops poll it between iterations and return their
 /// current partial solution early.  Cancellation is best-effort: a
-/// solver observes the token at iteration granularity (basis pursuit
-/// only on entry, before the simplex runs), never mid-factorization.
+/// solver observes the token at iteration granularity (the simplex
+/// engines poll once per pivot), never mid-factorization.
 class CancelToken {
  public:
   void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }

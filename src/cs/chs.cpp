@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "cs/basis_pursuit.h"
 #include "cs/least_squares.h"
 #include "cs/solver.h"
 #include "linalg/updatable_qr.h"
@@ -264,8 +265,58 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
   linalg::SupportQrCache qr_cache(phi_rows);
   const bool cacheable = refit->name() == "ols";
   std::size_t cache_cols_reused = 0;
+  // BP refits thread the previous round's optimal basis into the next
+  // solve: the support only grows between accepted batches, so every
+  // old basis column still exists in the new [phi_k, -phi_k] universe
+  // and the old vertex stays primal feasible for the unchanged y — the
+  // warm-started simplex skips phase 1 outright.  Basis ids are local
+  // to each refit's support, so they are remapped through dictionary
+  // column ids.  While the support is still too small to span y the LP
+  // is infeasible; the ridge fallback covers those early rounds.
+  const bool bp_refit =
+      refit->name() == "bp" || refit->name() == "basis_pursuit";
+  std::vector<std::size_t> bp_prev_support;
+  std::vector<std::size_t> bp_prev_basis;
   const auto refit_fit = [&](const Matrix& phi_k,
                              const std::vector<std::size_t>& support) {
+    if (bp_refit) {
+      const std::size_t k = support.size();
+      BasisPursuitOptions bo;
+      bo.lp.cancel = opts.cancel;
+      if (!bp_prev_basis.empty()) {
+        const std::size_t kp = bp_prev_support.size();
+        std::vector<std::size_t> warm;
+        warm.reserve(bp_prev_basis.size());
+        bool ok = true;
+        for (const std::size_t id : bp_prev_basis) {
+          if (id >= 2 * kp) {  // row artificial: position is preserved
+            warm.push_back(2 * k + (id - 2 * kp));
+            continue;
+          }
+          const std::size_t dict = bp_prev_support[id < kp ? id : id - kp];
+          const auto it =
+              std::lower_bound(support.begin(), support.end(), dict);
+          if (it == support.end() || *it != dict) {
+            ok = false;  // column left the support: cold start
+            break;
+          }
+          const auto p = static_cast<std::size_t>(it - support.begin());
+          warm.push_back(id < kp ? p : k + p);
+        }
+        if (ok) bo.lp.warm_basis = std::move(warm);
+      }
+      const BpSolution bp = bp_solve(phi_k, meas.values, bo);
+      if (bp.status == LpStatus::kOptimal) {
+        bp_prev_support = support;
+        bp_prev_basis = bp.basis;
+        if (obs::attached()) obs::add_counter("cs.chs.bp_refits");
+        return bp.solution.coefficients;
+      }
+      bp_prev_support.clear();
+      bp_prev_basis.clear();
+      const double scale = std::max(phi_k.frobenius_norm(), 1e-12);
+      return solve_ridge(phi_k, meas.values, 1e-8 * scale * scale);
+    }
     if (cacheable && qr_cache.refit(support)) {
       cache_cols_reused += qr_cache.reused_columns();
       return qr_cache.solve(meas.values);

@@ -96,18 +96,25 @@ class BasisPursuitSolver final : public SparseSolver {
   SparseSolution solve(const Matrix& a, std::span<const double> y,
                        const SolveContext& ctx) const override {
     SinkGuard guard(ctx);
-    // The simplex core has no safe interior interruption point, so
-    // cancellation is honored on entry only: an already-cancelled token
-    // yields the zero solution (residual = ||y||) without running the LP.
-    if (poll_cancelled(ctx.cancel)) {
+    BasisPursuitOptions o;
+    if (ctx.max_iterations) o.lp.max_iterations = ctx.max_iterations;
+    // The simplex engines poll the token once per pivot; a cancelled
+    // solve yields the zero solution (residual = ||y||), same shape as
+    // the other solvers' partial results.
+    o.lp.cancel = ctx.cancel;
+    BpSolution bp = bp_solve(a, y, o);
+    if (bp.status == LpStatus::kCancelled) {
       SparseSolution s;
       s.coefficients.assign(a.cols(), 0.0);
       s.residual_norm = norm2(y);
+      s.iterations = bp.iterations;
       return s;
     }
-    BasisPursuitOptions o;
-    if (ctx.max_iterations) o.lp.max_iterations = ctx.max_iterations;
-    return basis_pursuit(a, y, o);
+    if (bp.status != LpStatus::kOptimal) {
+      throw std::runtime_error(std::string("bp solver: LP ") +
+                               to_string(bp.status));
+    }
+    return std::move(bp.solution);
   }
 };
 

@@ -1,0 +1,272 @@
+#include "linalg/updatable_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sensedroid::linalg {
+
+namespace {
+// Relative singularity threshold: a U diagonal below this fraction of the
+// largest diagonal means the basis is not trustworthy for triangular
+// solves.  Loose enough that honest near-degenerate simplex bases pass,
+// tight enough that a genuinely dependent column trips refactorization.
+constexpr double kRelSingular = 1e-12;
+}  // namespace
+
+UpdatableLU::UpdatableLU(std::size_t n) : n_(n) {
+  l0_.resize(n * n);
+  perm0_.resize(n);
+  u_.resize(n * n);
+  ops_.reserve(4 * n);
+  pos_of_slot_.resize(n);
+  slot_of_pos_.resize(n);
+  work_.resize(n);
+}
+
+double UpdatableLU::stability_floor() const noexcept {
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    max_diag = std::max(max_diag, std::abs(u_[i * n_ + i]));
+  }
+  return kRelSingular * std::max(max_diag, 1.0);
+}
+
+double UpdatableLU::diag_ratio() const noexcept {
+  if (n_ == 0 || !valid_) return 0.0;
+  double lo = std::abs(u_[0]);
+  double hi = lo;
+  for (std::size_t i = 1; i < n_; ++i) {
+    const double d = std::abs(u_[i * n_ + i]);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return hi > 0.0 ? lo / hi : 0.0;
+}
+
+bool UpdatableLU::factor(const Matrix& basis) {
+  if (basis.rows() != n_ || basis.cols() != n_) {
+    throw std::invalid_argument("UpdatableLU::factor: shape mismatch");
+  }
+  valid_ = false;
+  updates_ = 0;
+  ops_.clear();
+  for (std::size_t s = 0; s < n_; ++s) {
+    pos_of_slot_[s] = static_cast<std::uint32_t>(s);
+    slot_of_pos_[s] = static_cast<std::uint32_t>(s);
+  }
+
+  // Working copy: after elimination, multipliers live below the diagonal
+  // (copied into l0_) and U above/on it (copied into u_).
+  std::copy(basis.data().begin(), basis.data().end(), l0_.begin());
+  double scale = 0.0;
+  for (const double v : l0_) scale = std::max(scale, std::abs(v));
+  const double tiny = kRelSingular * std::max(scale, 1.0);
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    std::size_t piv = k;
+    double best = std::abs(l0_[k * n_ + k]);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::abs(l0_[i * n_ + k]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (!(best > tiny)) return false;  // singular (or NaN) pivot column
+    perm0_[k] = static_cast<std::uint32_t>(piv);
+    if (piv != k) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        std::swap(l0_[k * n_ + c], l0_[piv * n_ + c]);
+      }
+    }
+    const double inv = 1.0 / l0_[k * n_ + k];
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double m = l0_[i * n_ + k] * inv;
+      l0_[i * n_ + k] = m;  // multiplier stored in place
+      if (m == 0.0) continue;
+      const double* __restrict rk = l0_.data() + k * n_;
+      double* __restrict ri = l0_.data() + i * n_;
+      for (std::size_t c = k + 1; c < n_; ++c) ri[c] -= m * rk[c];
+    }
+  }
+
+  // Split: U into u_, zeros below its diagonal; multipliers stay in l0_.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double* __restrict ui = u_.data() + i * n_;
+    const double* __restrict li = l0_.data() + i * n_;
+    for (std::size_t c = 0; c < i; ++c) ui[c] = 0.0;
+    for (std::size_t c = i; c < n_; ++c) ui[c] = li[c];
+  }
+  valid_ = true;
+  return true;
+}
+
+bool UpdatableLU::eliminate_hessenberg(std::size_t from) {
+  // Columns [from, n-2] carry one subdiagonal each after the shift; kill
+  // them with a 2x2 transform on rows (q, q+1), interchanging first when
+  // the subdiagonal dominates (Bartels-Golub pivoting — keeps every
+  // multiplier bounded by 1).  Each transform is recorded as one
+  // composed RowOp so solves replay a branchless stream.
+  for (std::size_t q = from; q + 1 < n_; ++q) {
+    double* __restrict rq = u_.data() + q * n_;
+    double* __restrict rq1 = u_.data() + (q + 1) * n_;
+    const double diag = rq[q];
+    const double sub = rq1[q];
+    if (sub == 0.0) continue;
+    if (std::abs(sub) > std::abs(diag)) {
+      // Interchange, then eliminate: new rows are (old q+1, old q - m *
+      // old q+1) with m = diag / sub.
+      const double m = diag / sub;
+      for (std::size_t c = q; c < n_; ++c) {
+        const double vq = rq[c];
+        const double vq1 = rq1[c];
+        rq[c] = vq1;
+        rq1[c] = vq - m * vq1;
+      }
+      rq1[q] = 0.0;
+      ops_.push_back({static_cast<std::uint32_t>(q), 0.0, 1.0, 1.0, -m});
+    } else {
+      if (diag == 0.0) return false;  // both entries vanished: singular
+      const double m = sub / diag;
+      for (std::size_t c = q; c < n_; ++c) rq1[c] -= m * rq[c];
+      rq1[q] = 0.0;
+      ops_.push_back({static_cast<std::uint32_t>(q), 1.0, 0.0, -m, 1.0});
+    }
+  }
+  const double floor = stability_floor();
+  for (std::size_t q = from; q < n_; ++q) {
+    if (!(std::abs(u_[q * n_ + q]) > floor)) return false;
+  }
+  return true;
+}
+
+// Shared head of ftran and the update's spike computation: v <- L~^{-1} v
+// where L~ is the initial permuted unit-lower factor followed by the
+// recorded 2x2 row transforms.
+void UpdatableLU::lower_solve_inplace(double* __restrict v) const {
+  // Stored multipliers are post-interchange (LAPACK convention), so the
+  // whole permutation applies before the unit-lower solve.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::uint32_t p = perm0_[k];
+    if (p != k) std::swap(v[k], v[p]);
+  }
+  // Forward substitution in dot form: row i of l0_ is contiguous.
+  for (std::size_t i = 1; i < n_; ++i) {
+    const double* __restrict li = l0_.data() + i * n_;
+    double s = 0.0;
+    for (std::size_t k = 0; k < i; ++k) s += li[k] * v[k];
+    v[i] -= s;
+  }
+  for (const RowOp& op : ops_) {
+    const double vq = v[op.q];
+    const double vq1 = v[op.q + 1];
+    v[op.q] = op.a * vq + op.b * vq1;
+    v[op.q + 1] = op.c * vq + op.d * vq1;
+  }
+}
+
+bool UpdatableLU::replace_column(std::size_t slot,
+                                 std::span<const double> col) {
+  if (!valid_) {
+    throw std::logic_error("UpdatableLU::replace_column: invalid factors");
+  }
+  if (slot >= n_) {
+    throw std::invalid_argument("UpdatableLU::replace_column: bad slot");
+  }
+  if (col.size() != n_) {
+    throw std::invalid_argument(
+        "UpdatableLU::replace_column: length mismatch");
+  }
+
+  // Spike = L~^{-1} col.
+  double* __restrict v = work_.data();
+  std::copy(col.begin(), col.end(), v);
+  lower_solve_inplace(v);
+
+  // Delete the leaving column's position, shift the tail left, append the
+  // spike as the last column.
+  const std::size_t p = pos_of_slot_[slot];
+  for (std::size_t i = 0; i < n_; ++i) {
+    double* __restrict ri = u_.data() + i * n_;
+    for (std::size_t q = p; q + 1 < n_; ++q) ri[q] = ri[q + 1];
+    ri[n_ - 1] = v[i];
+  }
+  for (std::size_t s = 0; s < n_; ++s) {
+    if (pos_of_slot_[s] > p) --pos_of_slot_[s];
+  }
+  pos_of_slot_[slot] = static_cast<std::uint32_t>(n_ - 1);
+  for (std::size_t s = 0; s < n_; ++s) {
+    slot_of_pos_[pos_of_slot_[s]] = static_cast<std::uint32_t>(s);
+  }
+
+  ++updates_;
+  if (!eliminate_hessenberg(p)) {
+    valid_ = false;
+    return false;
+  }
+  return true;
+}
+
+void UpdatableLU::ftran(std::span<const double> b,
+                        std::span<double> x) const {
+  if (!valid_) throw std::logic_error("UpdatableLU::ftran: invalid factors");
+  if (b.size() != n_ || x.size() != n_) {
+    throw std::invalid_argument("UpdatableLU::ftran: length mismatch");
+  }
+  double* __restrict v = work_.data();
+  std::copy(b.begin(), b.end(), v);
+  lower_solve_inplace(v);
+  // Back-substitution against U (dot form, contiguous rows), then scatter
+  // from position order to slot order.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    const double* __restrict ri = u_.data() + ii * n_;
+    double s = v[ii];
+    for (std::size_t c = ii + 1; c < n_; ++c) s -= ri[c] * v[c];
+    v[ii] = s / ri[ii];
+  }
+  for (std::size_t q = 0; q < n_; ++q) x[slot_of_pos_[q]] = v[q];
+}
+
+void UpdatableLU::btran(std::span<const double> b,
+                        std::span<double> x) const {
+  if (!valid_) throw std::logic_error("UpdatableLU::btran: invalid factors");
+  if (b.size() != n_ || x.size() != n_) {
+    throw std::invalid_argument("UpdatableLU::btran: length mismatch");
+  }
+  // Gather into position order, solve U^T z = b_pos, replay the
+  // transposed operation log in reverse, then L0^{-T} and the initial
+  // permutation in reverse.  Both triangular solves run in saxpy form so
+  // the inner loops walk contiguous rows of the row-major factors.
+  double* __restrict v = work_.data();
+  for (std::size_t q = 0; q < n_; ++q) v[q] = b[slot_of_pos_[q]];
+  for (std::size_t q = 0; q < n_; ++q) {
+    const double* __restrict rq = u_.data() + q * n_;
+    const double vq = v[q] / rq[q];
+    v[q] = vq;
+    if (vq != 0.0) {
+      for (std::size_t j = q + 1; j < n_; ++j) v[j] -= rq[j] * vq;
+    }
+  }
+  for (std::size_t oi = ops_.size(); oi-- > 0;) {
+    const RowOp& op = ops_[oi];
+    const double vq = v[op.q];
+    const double vq1 = v[op.q + 1];
+    v[op.q] = op.a * vq + op.c * vq1;
+    v[op.q + 1] = op.b * vq + op.d * vq1;
+  }
+  for (std::size_t k = n_; k-- > 0;) {
+    const double* __restrict lk = l0_.data() + k * n_;
+    const double vk = v[k];
+    if (vk != 0.0) {
+      for (std::size_t i = 0; i < k; ++i) v[i] -= lk[i] * vk;
+    }
+  }
+  for (std::size_t k = n_; k-- > 0;) {
+    const std::uint32_t p = perm0_[k];
+    if (p != k) std::swap(v[k], v[p]);
+  }
+  std::copy(v, v + n_, x.begin());
+}
+
+}  // namespace sensedroid::linalg

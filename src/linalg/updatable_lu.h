@@ -1,0 +1,110 @@
+// Updatable LU factorization of a square basis matrix — the engine room
+// of the revised simplex (DESIGN.md §11).
+//
+// A simplex basis B (m x m, one column per basic variable "slot") changes
+// by exactly one column per pivot.  Refactorizing densely makes every
+// pivot O(m^3); this class keeps B = L~ U where
+//
+//   - L~ is the product of the initial partial-pivot LU's L and the
+//     elementary row operations recorded by later updates (never formed
+//     explicitly — solves replay the operation log), and
+//   - U is an explicit dense upper triangle, maintained in place.
+//
+// replace_column is the Bartels-Golub update: the incoming column is
+// forward-solved into a spike, the outgoing column's slot is deleted from
+// U (columns shift left, leaving an upper Hessenberg band), the spike is
+// appended as the last column, and the subdiagonal is re-eliminated by
+// row operations with row-interchange pivoting.  Cost O(m^2) worst case,
+// O(m (m - p)) when the leaving column sits at position p.
+//
+//   factor          — dense partial-pivot LU of a fresh basis:  O(m^3)
+//   replace_column  — Bartels-Golub column swap:                O(m^2)
+//   ftran           — solve B x = b  (entering-column / RHS):   O(m^2)
+//   btran           — solve B^T x = b (duals / pivot rows):     O(m^2)
+//
+// Contract notes:
+//  - factor and replace_column return false when the result would be
+//    numerically singular (tiny U diagonal); the factorization is then
+//    unusable until the next successful factor().  The simplex driver
+//    responds by refactorizing from the true basis columns.
+//  - The operation log grows by at most 2(m-1) entries per update;
+//    callers bound solve cost by refactorizing every few dozen updates
+//    (SimplexOptions::refactor_interval) — the classic fill/stability
+//    policy, surfaced through updates_since_factor().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sensedroid::linalg {
+
+class UpdatableLU {
+ public:
+  /// Factorization of an n x n basis; all storage is preallocated here so
+  /// the per-pivot paths never allocate.
+  explicit UpdatableLU(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// True between a successful factor() and the first failed update.
+  bool valid() const noexcept { return valid_; }
+
+  /// Column replacements applied since the last factor().
+  std::size_t updates_since_factor() const noexcept { return updates_; }
+
+  /// Factorizes the basis whose column `s` is `basis.col(s)` (slot order).
+  /// Returns false when the basis is singular to working precision; the
+  /// factorization is invalid until the next successful call.  Throws
+  /// std::invalid_argument when `basis` is not n x n.
+  bool factor(const Matrix& basis);
+
+  /// Bartels-Golub update: basis slot `slot` is replaced by `col`.
+  /// Returns false (factorization invalid, caller must refactor) when the
+  /// updated U would be numerically singular.  Throws
+  /// std::invalid_argument on a bad slot or length, std::logic_error when
+  /// called on an invalid factorization.
+  bool replace_column(std::size_t slot, std::span<const double> col);
+
+  /// Solves B x = b (FTRAN).  x and b are length n; aliasing allowed.
+  void ftran(std::span<const double> b, std::span<double> x) const;
+
+  /// Solves B^T x = b (BTRAN).  x and b are length n; aliasing allowed.
+  void btran(std::span<const double> b, std::span<double> x) const;
+
+  /// min |U(i,i)| / max |U(i,i)| — cheap conditioning probe of the
+  /// current factors.
+  double diag_ratio() const noexcept;
+
+ private:
+  // One recorded elementary operation on the adjacent row pair (q, q+1):
+  // [v_q; v_q+1] <- [[a, b], [c, d]] [v_q; v_q+1].  A plain elimination is
+  // [[1, 0], [-m, 1]]; elimination after a stabilizing interchange is
+  // [[0, 1], [1, -m]].  Storing the composed 2x2 (instead of tagged
+  // swap/axpy ops) makes the replay a branchless stream — the op log is
+  // the hot path of every FTRAN/BTRAN between refactorizations.
+  struct RowOp {
+    std::uint32_t q;
+    double a, b, c, d;
+  };
+
+  double stability_floor() const noexcept;
+  bool eliminate_hessenberg(std::size_t from);
+  void lower_solve_inplace(double* v) const;
+
+  std::size_t n_ = 0;
+  bool valid_ = false;
+  std::size_t updates_ = 0;
+  std::vector<double> l0_;             // initial LU multipliers, row-major
+  std::vector<std::uint32_t> perm0_;   // initial partial-pivot row swaps
+  std::vector<double> u_;              // current U, row-major dense
+  std::vector<RowOp> ops_;             // post-L0 row operations, in order
+  std::vector<std::uint32_t> pos_of_slot_;
+  std::vector<std::uint32_t> slot_of_pos_;
+  mutable std::vector<double> work_;   // solve scratch (position order)
+};
+
+}  // namespace sensedroid::linalg

@@ -290,7 +290,8 @@ struct CampaignRun {
   sensedroid::middleware::GatherStats stats;
 };
 
-CampaignRun run_parallel_campaign(std::size_t workers) {
+CampaignRun run_parallel_campaign(std::size_t workers,
+                                  const std::string& refit_solver = "") {
   sfl::FaultPlan plan;
   plan.seed = 77;
   plan.link.p_good_to_bad = 0.1;
@@ -310,6 +311,7 @@ CampaignRun run_parallel_campaign(std::size_t workers) {
   cfg.retry.max_attempts = 3;
   cfg.topup_rounds = 1;
   cfg.chs.mad_threshold = 5.0;
+  cfg.chs.refit_solver = refit_solver;
 
   so::MetricsRegistry reg;
   so::attach_registry(&reg);
@@ -357,6 +359,21 @@ TEST(ParallelCampaign, OneWorkerAndEightWorkersAreByteIdentical) {
   // fixture would make the invariant vacuous.
   EXPECT_GT(serial.stats.radio_failures, 0u);
   EXPECT_GT(serial.stats.retries, 0u);
+}
+
+// Same invariant with the LP refit: the revised simplex (warm-started
+// through the CHS basis cache) sits inside every zone's reconstruction,
+// so any pivot-order or warm-start nondeterminism would surface here as
+// a diverging report or NRMSE.
+TEST(ParallelCampaign, BpRefitStaysByteIdenticalAcrossWorkerCounts) {
+  const CampaignRun serial = run_parallel_campaign(1, "bp");
+  const CampaignRun parallel = run_parallel_campaign(8, "bp");
+  EXPECT_EQ(serial.report_json, parallel.report_json);
+  ASSERT_EQ(serial.nrmse.size(), parallel.nrmse.size());
+  for (std::size_t i = 0; i < serial.nrmse.size(); ++i) {
+    EXPECT_EQ(serial.nrmse[i], parallel.nrmse[i]);  // bit-identical
+    EXPECT_EQ(serial.measurements[i], parallel.measurements[i]);
+  }
 }
 
 TEST(ParallelCampaign, ReplaysBitIdenticallyAtTheSameWorkerCount) {
