@@ -13,7 +13,14 @@ The check is trajectory-vs-trajectory, not a live measurement: it never
 times anything, so it is immune to builder noise.  Appending an honest
 new point that shows a regression is exactly what makes it fire.
 
-Usage: check_regression.py [path-to-jsonl] [max-ratio]
+With --overhead the contract changes: instead of comparing the newest
+two points per key, the NEWEST point is checked internally — every
+`<name>_armed` median is paired with its `<name>_detached` sibling and
+the check fails when armed exceeds detached by more than the ratio
+(default 1.05).  BENCH_obs.json uses this to gate the armed telemetry
+stack at 5% overhead on the solver hot path.
+
+Usage: check_regression.py [--overhead] [path-to-jsonl] [max-ratio]
 Exit codes: 0 ok, 1 regression found, 2 malformed input.
 """
 
@@ -52,9 +59,49 @@ def load_series(path):
     return series
 
 
+def check_overhead(series, max_ratio):
+    """Pairs <name>_armed with <name>_detached in the newest point."""
+    failures = []
+    checked = 0
+    for key in sorted(series):
+        if not key.endswith("_armed"):
+            continue
+        sibling = key[: -len("_armed")] + "_detached"
+        if sibling not in series:
+            print(f"  {key}: no {sibling} sibling, skipped")
+            continue
+        armed_label, armed = series[key][-1]
+        _, detached = series[sibling][-1]
+        checked += 1
+        ratio = armed / detached if detached > 0 else float("inf")
+        verdict = "OVER BUDGET" if ratio > max_ratio else "ok"
+        print(
+            f"  {key[: -len('_armed')]}: detached {detached:.3f} us, armed "
+            f"{armed:.3f} us ({armed_label})  {ratio:.3f}x  {verdict}"
+        )
+        if ratio > max_ratio:
+            failures.append(key)
+    if not checked:
+        print("check_regression: no armed/detached pairs found")
+        return 2
+    if failures:
+        print(
+            f"check_regression: FAIL — {', '.join(failures)} exceed the "
+            f"{(max_ratio - 1.0) * 100.0:.0f}% armed-observability budget"
+        )
+        return 1
+    print("check_regression: ok")
+    return 0
+
+
 def main(argv):
+    argv = list(argv)
+    overhead = "--overhead" in argv
+    if overhead:
+        argv.remove("--overhead")
     path = argv[1] if len(argv) > 1 else "BENCH_solvers.json"
-    max_ratio = float(argv[2]) if len(argv) > 2 else 1.25
+    default_ratio = 1.05 if overhead else 1.25
+    max_ratio = float(argv[2]) if len(argv) > 2 else default_ratio
     try:
         series = load_series(path)
     except OSError as exc:
@@ -63,6 +110,8 @@ def main(argv):
     if not series:
         print(f"check_regression: no trajectory points in {path}")
         return 2
+    if overhead:
+        return check_overhead(series, max_ratio)
 
     failures = []
     for solver in sorted(series):

@@ -11,6 +11,7 @@
 #include "cs/solver.h"
 #include "linalg/updatable_qr.h"
 #include "linalg/vector_ops.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -453,6 +454,9 @@ ChsResult chs_reconstruct(const Matrix& basis, const Measurement& meas,
     res.coefficients[res.support[i]] = coef_on_support[i];
   }
   res.residual_norm = norm2(residual);
+  obs::fr_record(obs::FrEvent::kSolverSolve,
+                 static_cast<std::uint32_t>(res.support.size()),
+                 res.residual_norm / xs_norm);
   if (obs::attached()) {
     obs::add_counter("cs.chs.solves");
     obs::add_counter("cs.chs.iterations",

@@ -6,6 +6,7 @@
 
 #include "linalg/updatable_qr.h"
 #include "linalg/vector_ops.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -157,6 +158,8 @@ SparseSolution omp_solve(const Matrix& a, std::span<const double> y,
     qty.push_back(qy);
     axpy(-qy, q, residual);
     res = norm2(residual);
+    obs::fr_record(obs::FrEvent::kSolverIteration,
+                   static_cast<std::uint32_t>(sol.iterations), res);
 
     if (opts.min_improvement > 0.0 &&
         prev_res - res < opts.min_improvement * std::max(y_norm, 1e-300)) {
@@ -179,6 +182,9 @@ SparseSolution omp_solve(const Matrix& a, std::span<const double> y,
     sol.coefficients[sol.support[i]] = coef_on_support[i];
   }
   sol.residual_norm = res;
+  obs::fr_record(obs::FrEvent::kSolverSolve,
+                 static_cast<std::uint32_t>(sol.support.size()),
+                 sol.residual_norm);
   if (obs::attached()) {
     obs::add_counter("cs.omp.solves");
     obs::add_counter("cs.omp.iterations",

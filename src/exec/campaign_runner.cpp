@@ -1,10 +1,12 @@
 #include "exec/campaign_runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "field/spatial_field.h"
@@ -58,23 +60,45 @@ hierarchy::RegionalResult ParallelCampaignRunner::run_round(
   struct ZoneOutcome {
     hierarchy::GatherResult result;
     std::unique_ptr<obs::MetricsRegistry> shard;
+    std::unique_ptr<obs::TraceLog> trace_shard;
   };
   const bool shard_metrics = observed();
+  const bool shard_traces = obs::trace() != nullptr;
+  // The round span's id: shard merging re-parents each zone's spans
+  // under it, so the merged tree nests zone work inside the round at any
+  // worker count.
+  const std::uint64_t round_span = obs::TraceContext::current().parent;
 
   std::vector<std::future<ZoneOutcome>> futures;
   futures.reserve(z);
   for (std::size_t id = 0; id < z; ++id) {
-    futures.push_back(pool_->submit([this, id, shard_metrics, &forks,
-                                     m = budget[id]] {
+    futures.push_back(pool_->submit([this, id, shard_metrics, shard_traces,
+                                     &forks, m = budget[id]] {
       ZoneOutcome out;
-      // Rule 2 (isolation): this zone's counters/histograms land in a
-      // private shard; nothing floating-point is shared mid-round.
+      // Rule 2 (isolation): this zone's counters/histograms/spans land
+      // in private shards; nothing floating-point is shared mid-round.
       std::optional<obs::ScopedMetricShard> bind;
       if (shard_metrics) {
         out.shard = std::make_unique<obs::MetricsRegistry>();
         bind.emplace(out.shard.get());
       }
+      std::optional<obs::ScopedTraceShard> bind_trace;
+      if (shard_traces) {
+        // Binding the shard also isolates this thread's trace context,
+        // so the submitter's main-log span ids cannot leak in as
+        // parents: shard roots stay unparented and merge_from
+        // re-parents them under the round span.
+        out.trace_shard = std::make_unique<obs::TraceLog>();
+        bind_trace.emplace(out.trace_shard.get());
+      }
+      const auto t0 = std::chrono::steady_clock::now();
       out.result = cloud_->nanocloud(id).gather(m, forks[id]);
+      if (shard_metrics) {
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        obs::observe("hier.zone.gather_us",
+                     {{"zone", std::to_string(id)}},
+                     std::chrono::duration<double, std::micro>(dt).count());
+      }
       return out;
     }));
   }
@@ -89,10 +113,16 @@ hierarchy::RegionalResult ParallelCampaignRunner::run_round(
   for (auto& f : futures) outcomes.push_back(f.get());  // rethrows, id order
 
   // Rule 3 (reduction): merge shards, then fold results, both in
-  // ascending zone order — fixed floating-point addition order.
+  // ascending zone order — fixed floating-point addition order (and, for
+  // traces, fixed id/parent/depth assignment).
   if (obs::MetricsRegistry* base = obs::registry()) {
     for (const ZoneOutcome& o : outcomes) {
       if (o.shard) base->merge_from(*o.shard);
+    }
+  }
+  if (obs::TraceLog* log = obs::trace()) {
+    for (const ZoneOutcome& o : outcomes) {
+      if (o.trace_shard) log->merge_from(*o.trace_shard, round_span);
     }
   }
 
@@ -103,6 +133,7 @@ hierarchy::RegionalResult ParallelCampaignRunner::run_round(
   const sim::LinkModel& uplink = cloud.uplink_link();
   for (std::size_t id = 0; id < z; ++id) {
     const hierarchy::GatherResult& res = outcomes[id].result;
+    hierarchy::emit_zone_series(static_cast<std::uint32_t>(id), res);
     out.total_measurements += res.m_used;
     out.node_energy_j += res.node_energy_j;
     out.stats += res.stats;

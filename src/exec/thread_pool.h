@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace sensedroid::exec {
 
 /// Fixed-size thread pool.  Construction spawns the workers; destruction
@@ -49,12 +51,21 @@ class ThreadPool {
   /// thrown by the task is captured and rethrown from future::get() —
   /// the pool itself never dies to a task failure.  Throws
   /// std::runtime_error when called after shutdown().
+  ///
+  /// Trace propagation: the submitter's obs::TraceContext is captured
+  /// here and adopted for the task's duration, so spans the task opens
+  /// nest under the span that was live at submit() time instead of
+  /// starting disconnected roots on the worker thread.  Costs a
+  /// thread-local read when tracing is detached.
   template <class F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>&>> {
     using R = std::invoke_result_t<std::decay_t<F>&>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    enqueue([task] { (*task)(); });
+    enqueue([task, ctx = obs::TraceContext::current()] {
+      obs::ScopedTraceContext adopt(ctx);
+      (*task)();
+    });
     return fut;
   }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace sensedroid::fault {
@@ -86,6 +87,8 @@ void FaultInjector::begin_round() {
       std::lock_guard<std::mutex> lock(mu_);
       ++tally_.crashed_broker_rounds;
       obs::add_counter("fault.broker.crashed_rounds");
+      obs::fr_record(obs::FrEvent::kFaultBrokerCrash, w.zone,
+                     static_cast<double>(round));
     }
   }
 }
@@ -111,6 +114,8 @@ bool FaultInjector::link_attempt_drops(std::uint32_t zone) {
   if (drop) {
     ++tally_.link_drops;
     obs::add_counter("fault.link.drops");
+    obs::fr_record(obs::FrEvent::kFaultLinkDrop, zone,
+                   st.bad ? 1.0 : 0.0);
   }
   return drop;
 }
@@ -149,6 +154,7 @@ bool FaultInjector::node_present(std::uint32_t node) {
   if (!st.present) {
     ++tally_.churn_absences;
     obs::add_counter("fault.churn.absent");
+    obs::fr_record(obs::FrEvent::kFaultChurnAbsent, node);
   }
   return st.present;
 }
@@ -216,7 +222,7 @@ sensing::SimulatedSensor::ReadHook FaultInjector::sensor_hook(
   // own zone's gather task, and the campaign runner joins all tasks
   // between rounds, so accesses are sequenced even when the zone migrates
   // across workers.  Only the shared tally crosses zones.
-  return [st, this](std::size_t /*index*/, double value) {
+  return [st, node, this](std::size_t /*index*/, double value) {
     if (st->stuck) {
       if (!st->has_frozen) {
         st->has_frozen = true;
@@ -236,6 +242,8 @@ sensing::SimulatedSensor::ReadHook FaultInjector::sensor_hook(
         ++tally_.sensor_spikes;
       }
       obs::add_counter("fault.sensor.spikes");
+      obs::fr_record(obs::FrEvent::kFaultSensorSpike, node,
+                     sign * st->spike_mag);
     }
     return value;
   };

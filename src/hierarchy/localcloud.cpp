@@ -1,7 +1,9 @@
 #include "hierarchy/localcloud.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -57,7 +59,15 @@ RegionalResult LocalCloud::gather(const std::vector<ZoneDecision>& decisions,
   }
 
   for (std::size_t id = 0; id < clouds_.size(); ++id) {
+    const auto t0 = std::chrono::steady_clock::now();
     auto res = clouds_[id].gather(std::max<std::size_t>(budget[id], 1), rng);
+    if (obs::attached()) {
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      obs::observe("hier.zone.gather_us",
+                   {{"zone", std::to_string(id)}},
+                   std::chrono::duration<double, std::micro>(dt).count());
+    }
+    emit_zone_series(static_cast<std::uint32_t>(id), res);
     out.total_measurements += res.m_used;
     out.node_energy_j += res.node_energy_j;
     out.stats += res.stats;
@@ -93,6 +103,33 @@ RegionalResult LocalCloud::gather_uniform(std::size_t measurements_per_zone,
     decisions[id].measurements = measurements_per_zone;
   }
   return gather(decisions, rng);
+}
+
+void emit_zone_series(std::uint32_t zone, const GatherResult& res) noexcept {
+  if (!obs::attached()) return;
+  const obs::Labels l{{"zone", std::to_string(zone)}};
+  obs::add_counter("hier.zone.rounds", l, 1.0);
+  obs::add_counter("hier.zone.replies", l,
+                   static_cast<double>(res.m_used));
+  obs::add_counter("hier.zone.requested", l,
+                   static_cast<double>(res.m_requested));
+  obs::add_counter("hier.zone.energy_j", l,
+                   res.node_energy_j + res.stats.broker_energy_j);
+  obs::set_gauge("hier.zone.nrmse", l, res.nrmse);
+  if (res.degraded) obs::add_counter("hier.zone.degraded_rounds", l, 1.0);
+  if (res.failed_over) obs::add_counter("hier.zone.failovers", l, 1.0);
+  if (res.stats.radio_failures > 0) {
+    obs::add_counter("hier.zone.radio_failures", l,
+                     static_cast<double>(res.stats.radio_failures));
+  }
+  if (res.stats.retries > 0) {
+    obs::add_counter("hier.zone.retries", l,
+                     static_cast<double>(res.stats.retries));
+  }
+  if (res.stats.retry_recovered > 0) {
+    obs::add_counter("hier.zone.recovered", l,
+                     static_cast<double>(res.stats.retry_recovered));
+  }
 }
 
 }  // namespace sensedroid::hierarchy

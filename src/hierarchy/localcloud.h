@@ -76,4 +76,16 @@ class LocalCloud {
   sim::LinkModel uplink_;
 };
 
+/// Emits one zone's health-input series (counters `hier.zone.rounds` /
+/// `degraded_rounds` / `failovers` / `radio_failures` / `retries` /
+/// `recovered` / `replies` / `requested` / `energy_j`, gauge
+/// `hier.zone.nrmse`), all labelled `{zone="<id>"}` — the inputs
+/// obs::HealthEngine scores.  No-op when detached.  Called from the
+/// zone-order reduction loops of both gather paths (sequential and
+/// ParallelCampaignRunner) so reports from either path stay identical;
+/// flag-like series (degraded/failovers/radio_failures/retries/
+/// recovered) only appear once nonzero, keeping un-faulted runs' metric
+/// set unchanged.
+void emit_zone_series(std::uint32_t zone, const GatherResult& res) noexcept;
+
 }  // namespace sensedroid::hierarchy

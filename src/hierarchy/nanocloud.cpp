@@ -7,6 +7,7 @@
 
 #include "cs/measurement.h"
 #include "linalg/vector_ops.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -164,6 +165,8 @@ GatherResult NanoCloud::gather(std::size_t m, Rng& rng) {
       const auto extra = collect_cells(*head, extra_cells, rng, out);
       out.stats.topup_requests += extra_cells.size();
       out.stats.topup_replies += extra.size();
+      obs::fr_record(obs::FrEvent::kTopup, config_.zone_id,
+                     static_cast<double>(extra.size()));
       if (obs::attached()) {
         obs::add_counter("mw.topup.requests",
                          static_cast<double>(extra_cells.size()));
@@ -226,6 +229,8 @@ middleware::MobileNode* NanoCloud::elect_standin(GatherResult& out) {
     out.stats.bytes_transferred +=
         middleware::Broker::kCommandBytes * announce;
     if (obs::attached()) obs::add_counter("fault.failover.promotions");
+    obs::fr_record(obs::FrEvent::kFailover, config_.zone_id,
+                   static_cast<double>(cand.id()));
     return &cand;
   }
   return nullptr;  // every member is gone, dead, or opted out

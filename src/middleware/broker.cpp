@@ -1,6 +1,7 @@
 #include "middleware/broker.h"
 
 #include "fault/fault.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/event_sim.h"
@@ -95,6 +96,8 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
           break;
         }
         ++local.retries;
+        obs::fr_record(obs::FrEvent::kRetryAttempt, node->id(),
+                       static_cast<double>(attempt));
       }
 
       // Command leg: broker TX, node RX.
@@ -138,7 +141,10 @@ std::vector<Reading> Broker::collect(std::span<MobileNode*> nodes,
       local.broker_energy_j += rx_e;
 
       ++local.replies_received;
-      if (attempt > 0) ++local.retry_recovered;
+      if (attempt > 0) {
+        ++local.retry_recovered;
+        obs::fr_record(obs::FrEvent::kRetryRecovered, node->id());
+      }
       readings.push_back(Reading{
           node->id(), *value, node->sensor_sigma(kind).value_or(0.0)});
       // Ingest through the query service so standing filters fire as data

@@ -1,0 +1,113 @@
+// Flight recorder: fixed-size, per-thread ring buffers of compact
+// binary events that are nearly free while armed and zero-cost while
+// detached — the "what were the last ~4k things each thread did"
+// answer for a campaign that just crashed, stalled, or started
+// injecting faults.
+//
+// Event sites (solver iterations, retry attempts, fault injections,
+// broker failovers) call fr_record(); when disarmed that is one relaxed
+// atomic load and a branch.  When armed it is a 16-byte store into a
+// thread-owned ring plus a release bump of the ring head — no locks, no
+// allocation, no cross-thread contention on the hot path (threads only
+// share the registration list, touched once per thread lifetime).
+//
+// Rings overwrite oldest events (flight-recorder semantics: the *last*
+// window before the incident is what matters).  Dumps happen on demand
+// (FlightRecorder::dump_jsonl / the telemetry server), when the health
+// engine sees the fault section grow (HealthEngine::set_auto_dump), or
+// on SIGSEGV/SIGABRT via FlightRecorder::install_crash_dump — the one
+// hook that turns "it died in the 7th hour of a campaign" into a
+// readable tail of events.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sensedroid::obs {
+
+/// Compact event type tags.  Keep stable: dumps are read by tooling.
+enum class FrEvent : std::uint16_t {
+  kSolverIteration = 1,   ///< arg = iteration index, value = residual
+  kSolverSolve = 2,       ///< arg = support size, value = residual norm
+  kRetryAttempt = 3,      ///< arg = node id, value = attempt number
+  kRetryRecovered = 4,    ///< arg = node id
+  kFaultLinkDrop = 5,     ///< arg = zone id
+  kFaultChurnAbsent = 6,  ///< arg = node id
+  kFaultSensorSpike = 7,  ///< arg = node id, value = injected magnitude
+  kFaultBrokerCrash = 8,  ///< arg = zone id, value = round
+  kFailover = 9,          ///< arg = zone id, value = stand-in node id
+  kTopup = 10,            ///< arg = zone id, value = replies recovered
+  kMark = 11,             ///< free-form marker (tests, campaign phases)
+};
+
+/// One recorded event: 16 bytes, written by exactly one thread.
+struct FrRecord {
+  std::uint16_t type = 0;   ///< FrEvent
+  std::uint16_t spare = 0;
+  std::uint32_t arg = 0;    ///< id-like payload (zone, node, iteration)
+  double value = 0.0;       ///< measure-like payload
+};
+static_assert(sizeof(FrRecord) == 16, "flight-recorder event grew");
+
+namespace fr_detail {
+extern std::atomic<bool> g_armed;
+void record_slow(FrEvent type, std::uint32_t arg, double value) noexcept;
+}  // namespace fr_detail
+
+/// True while the recorder is armed.  One relaxed load.
+inline bool fr_armed() noexcept {
+  return fr_detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Records an event into the calling thread's ring iff armed.
+inline void fr_record(FrEvent type, std::uint32_t arg = 0,
+                      double value = 0.0) noexcept {
+  if (fr_armed()) fr_detail::record_slow(type, arg, value);
+}
+
+/// Process-wide control surface.  All static: rings belong to threads,
+/// arming belongs to the process.
+class FlightRecorder {
+ public:
+  /// Events each thread's ring retains (power of two; clamped to
+  /// [64, 1<<20]).  Takes effect for rings created after the call.
+  static void set_ring_capacity(std::size_t events);
+  static std::size_t ring_capacity() noexcept;
+
+  /// Starts recording.  Rings persist across arm/disarm cycles; arming
+  /// does not clear them (use reset()).
+  static void arm() noexcept;
+  static void disarm() noexcept;
+
+  /// Drops every registered ring's contents (events, not the rings).
+  static void reset();
+
+  /// Total events currently retained across all rings (<= capacity sum).
+  static std::size_t event_count();
+  /// Total events ever recorded (including overwritten ones).
+  static std::uint64_t total_recorded();
+
+  /// One JSON object per line, oldest-first within each thread:
+  /// {"thread":3,"seq":41,"type":"solver_iteration","arg":7,"value":0.25}
+  /// Thread order is registration order (deterministic per run shape,
+  /// not across worker counts — the recorder is diagnostics, not part
+  /// of the deterministic RunReport surface).
+  static std::string dump_jsonl();
+
+  /// Appends dump_jsonl() to `path`.  Returns false on I/O failure.
+  static bool dump_to_file(const std::string& path);
+
+  /// Installs SIGSEGV/SIGABRT handlers that append a best-effort dump
+  /// to `path` (async-signal-safe formatting: integers and fixed-point
+  /// values only), then re-raise the default disposition.  Pass empty
+  /// to restore the default handlers.  Not thread-safe against itself;
+  /// call once at startup.
+  static void install_crash_dump(const std::string& path);
+
+  /// Human-readable name for a type tag ("solver_iteration", ...).
+  static std::string_view event_name(std::uint16_t type) noexcept;
+};
+
+}  // namespace sensedroid::obs

@@ -1,0 +1,117 @@
+// Per-zone health/SLO engine: turns the campaign's own counters and
+// histograms (`hier.zone.*`, `fault.*`, `mw.retry.*`) into one score per
+// zone in [0, 1] plus a process verdict — the /healthz answer.
+//
+// Score = 0.35 * latency + 0.25 * recovery + 0.25 * availability
+//       + 0.15 * energy, each component in [0, 1]:
+//
+//   latency      1 - burn_rate, clamped.  burn_rate = (fraction of
+//                `hier.zone.gather_us{zone=}` observations above
+//                latency_slo_us) / latency_allowed_fraction — the
+//                error-budget burn of a classic latency SLO.
+//   recovery     retry_recovered / retries (1 when nothing retried):
+//                how often resilience machinery actually rescued a
+//                reading once it engaged.
+//   availability 1 - degraded_rounds / rounds: fraction of rounds the
+//                zone served without a degraded flag (failover or MAD
+//                screening engaged).
+//   energy       1 - spent_j / energy_floor_j, clamped (1 when no floor
+//                is configured): remaining headroom before the zone's
+//                energy budget is exhausted.
+//
+// Verdict per zone and overall (worst zone): "healthy" >= degraded_below,
+// "degraded" >= unhealthy_below, else "unhealthy".
+//
+// Determinism: the engine only READS the campaign registry; its output
+// gauges (`health.zone{id=}`, `health.worst`) land in an engine-private
+// registry so a live telemetry server evaluating health mid-campaign
+// cannot perturb the deterministic RunReport surface.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sensedroid::obs {
+
+/// Knobs of the health score.  Defaults are deliberately loose — they
+/// flag genuinely troubled zones, not benign jitter.
+struct HealthConfig {
+  double latency_slo_us = 50'000.0;        ///< per-gather latency target
+  double latency_allowed_fraction = 0.10;  ///< SLO error budget
+  double energy_floor_j = 0.0;             ///< per-zone budget; 0 = off
+  double unhealthy_below = 0.5;            ///< score verdict thresholds
+  double degraded_below = 0.8;
+  double w_latency = 0.35;
+  double w_recovery = 0.25;
+  double w_availability = 0.25;
+  double w_energy = 0.15;
+};
+
+/// One zone's evaluated health.
+struct ZoneHealth {
+  std::uint32_t zone = 0;
+  double score = 1.0;
+  double latency = 1.0;
+  double recovery = 1.0;
+  double availability = 1.0;
+  double energy = 1.0;
+  const char* verdict = "healthy";
+};
+
+/// Reads `hier.zone.*` series from a source registry and publishes
+/// `health.zone{id=}` gauges + an overall verdict.  All methods are
+/// thread-safe; evaluate() is designed to be called from a telemetry
+/// server thread while the campaign is writing the source registry.
+class HealthEngine {
+ public:
+  explicit HealthEngine(const MetricsRegistry* source,
+                        HealthConfig config = {});
+
+  const HealthConfig& config() const noexcept { return config_; }
+
+  /// Recomputes every zone's score from the source registry and updates
+  /// the engine's gauge registry.  Returns the per-zone snapshot
+  /// (ascending zone id).  Also triggers the flight-recorder auto-dump
+  /// when the source's `fault.*` counters grew since the last call and
+  /// an auto-dump path is set.
+  std::vector<ZoneHealth> evaluate();
+
+  /// Worst zone score of the last evaluate() (1.0 before the first).
+  double worst_score() const;
+  /// Overall verdict of the last evaluate(): "healthy" / "degraded" /
+  /// "unhealthy" (worst zone decides).
+  const char* verdict() const;
+
+  /// {"verdict":"...","worst":...,"zones":[{...}]} — evaluates first,
+  /// so the body is always current.  The /healthz payload.
+  std::string to_json();
+
+  /// Engine-owned registry holding `health.zone{id=}` / `health.worst`
+  /// gauges — export alongside (never into) the campaign registry.
+  MetricsRegistry& gauges() noexcept { return gauges_; }
+
+  /// When non-empty: evaluate() appends a FlightRecorder dump to `path`
+  /// whenever the summed `fault.*` counters grew since the last
+  /// evaluation (the "fault section grew" dump trigger).
+  void set_auto_dump(std::string path);
+
+  /// Verdict string for a score under this config.
+  const char* verdict_for(double score) const noexcept;
+
+ private:
+  const MetricsRegistry* source_;
+  HealthConfig config_;
+  MetricsRegistry gauges_;
+
+  mutable std::mutex mu_;
+  std::vector<ZoneHealth> last_;
+  double worst_ = 1.0;
+  std::string auto_dump_path_;
+  double last_fault_sum_ = 0.0;
+};
+
+}  // namespace sensedroid::obs

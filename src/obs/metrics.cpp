@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
@@ -87,6 +88,23 @@ std::string prom_name(std::string_view name) {
   return out;
 }
 
+/// Prometheus text-format label-value escaping: exactly backslash,
+/// double-quote, and line-feed (the only escapes the spec defines —
+/// json_escape's \uXXXX forms are NOT valid in the exposition format).
+std::string prom_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prom_labels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -94,7 +112,7 @@ std::string prom_labels(const Labels& labels) {
     if (i) out += ',';
     out += prom_name(labels[i].first);
     out += "=\"";
-    out += json_escape(labels[i].second);
+    out += prom_escape(labels[i].second);
     out += '"';
   }
   out += '}';
@@ -231,12 +249,51 @@ double Histogram::quantile(double q) const noexcept {
 // ---------------------------------------------------------------------
 // MetricsRegistry
 
+namespace {
+std::atomic<std::uint64_t> g_next_stamp{1};
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : stamp_(g_next_stamp.fetch_add(1, std::memory_order_relaxed)) {}
+
+bool MetricsRegistry::admit_series_locked(std::string_view name) {
+  // The drop counter itself must never be refused (and must not recurse
+  // into the guard), so it is exempt by name.
+  constexpr std::string_view kDropFamily = "obs.dropped_series";
+  if (name == kDropFamily) return true;
+  auto it = family_counts_.find(name);
+  if (it == family_counts_.end()) {
+    family_counts_.emplace(std::string(name), 1);
+    return true;
+  }
+  if (it->second < series_limit_) {
+    ++it->second;
+    return true;
+  }
+  // Refused: count the drop under the offending family's label.  This
+  // creates at most one extra series per family — bounded by the number
+  // of families, not by the runaway label.
+  const Labels drop_labels{{"metric", std::string(name)}};
+  const std::string drop_key = series_key(kDropFamily, drop_labels);
+  auto dit = counters_.find(drop_key);
+  if (dit == counters_.end()) {
+    dit = counters_
+              .emplace(drop_key,
+                       Series<Counter>{std::string(kDropFamily), drop_labels,
+                                       std::make_unique<Counter>()})
+              .first;
+  }
+  dit->second.metric->inc();
+  return false;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name,
                                   const Labels& labels) {
   const std::string key = series_key(name, labels);
   std::lock_guard<std::mutex> lk(mu_);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
+    if (!admit_series_locked(name)) return overflow_counter_;
     it = counters_
              .emplace(key, Series<Counter>{std::string(name), labels,
                                            std::make_unique<Counter>()})
@@ -250,6 +307,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
+    if (!admit_series_locked(name)) return overflow_gauge_;
     it = gauges_
              .emplace(key, Series<Gauge>{std::string(name), labels,
                                          std::make_unique<Gauge>()})
@@ -265,6 +323,12 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   std::lock_guard<std::mutex> lk(mu_);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
+    if (!admit_series_locked(name)) {
+      if (!overflow_histogram_) {
+        overflow_histogram_ = std::make_unique<Histogram>();
+      }
+      return *overflow_histogram_;
+    }
     auto metric = bounds.empty()
                       ? std::make_unique<Histogram>()
                       : std::make_unique<Histogram>(std::move(bounds));
@@ -274,6 +338,20 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
              .first;
   }
   return *it->second.metric;
+}
+
+void MetricsRegistry::set_series_limit(std::size_t limit) {
+  std::lock_guard<std::mutex> lk(mu_);
+  series_limit_ = std::max<std::size_t>(limit, 1);
+}
+
+std::size_t MetricsRegistry::series_limit() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return series_limit_;
+}
+
+double MetricsRegistry::dropped_series() const {
+  return counter_sum("obs.dropped_series");
 }
 
 double MetricsRegistry::counter_sum(std::string_view name) const {
@@ -320,6 +398,11 @@ void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  family_counts_.clear();
+  // New stamp: invalidates every cached reference (helpers' thread-local
+  // fast path included) taken before the clear.
+  stamp_.store(g_next_stamp.fetch_add(1, std::memory_order_relaxed),
+               std::memory_order_relaxed);
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
@@ -505,10 +588,77 @@ ScopedMetricShard::ScopedMetricShard(MetricsRegistry* shard) noexcept
 
 ScopedMetricShard::~ScopedMetricShard() { t_shard = prev_; }
 
+namespace {
+
+// Thread-local fast path for the unlabeled helpers: a direct-mapped
+// cache from metric name to the resolved metric pointer, validated by
+// the owning registry's stamp.  The slow path (mutex + map lookup +
+// series_key string build) costs ~150 ns, which at ~5 helper calls per
+// 12 µs OMP solve is most of the armed-vs-detached overhead budget; a
+// cache hit is a handful of compares.  Entries self-heal on any
+// mismatch (different sink, cleared registry, colliding slot) by
+// falling through to the slow path and overwriting the slot.
+constexpr std::size_t kFastSlots = 64;      // power of two
+constexpr std::size_t kFastNameCap = 47;    // names longer skip the cache
+
+struct FastEntry {
+  char name[kFastNameCap + 1];
+  std::uint8_t len = 0;
+  char kind = 0;  // 'c' counter, 'g' gauge, 'h' histogram
+  const MetricsRegistry* reg = nullptr;
+  std::uint64_t stamp = 0;
+  void* metric = nullptr;
+};
+
+thread_local FastEntry t_fast[kFastSlots];
+
+std::size_t fast_slot(std::string_view name, char kind) noexcept {
+  // Helper call sites pass literals, so hashing the first/last bytes and
+  // the length separates the real name population well.
+  const std::size_t h = name.size() * 131 +
+                        static_cast<unsigned char>(name.front()) * 31 +
+                        static_cast<unsigned char>(name.back()) * 7 +
+                        static_cast<unsigned char>(kind);
+  return h & (kFastSlots - 1);
+}
+
+/// Returns the cached metric for (r, name, kind), or nullptr on miss.
+void* fast_lookup(const MetricsRegistry* r, std::string_view name,
+                  char kind) noexcept {
+  if (name.empty() || name.size() > kFastNameCap) return nullptr;
+  const FastEntry& e = t_fast[fast_slot(name, kind)];
+  if (e.kind == kind && e.reg == r && e.len == name.size() &&
+      e.stamp == r->stamp() &&
+      std::memcmp(e.name, name.data(), name.size()) == 0) {
+    return e.metric;
+  }
+  return nullptr;
+}
+
+void fast_store(const MetricsRegistry* r, std::string_view name, char kind,
+                void* metric) noexcept {
+  if (name.empty() || name.size() > kFastNameCap) return;
+  FastEntry& e = t_fast[fast_slot(name, kind)];
+  std::memcpy(e.name, name.data(), name.size());
+  e.len = static_cast<std::uint8_t>(name.size());
+  e.kind = kind;
+  e.reg = r;
+  e.stamp = r->stamp();
+  e.metric = metric;
+}
+
+}  // namespace
+
 void add_counter(std::string_view name, double v) noexcept {
   if (MetricsRegistry* r = sink()) {
+    if (void* m = fast_lookup(r, name, 'c')) {
+      static_cast<Counter*>(m)->add(v);
+      return;
+    }
     try {
-      r->counter(name).add(v);
+      Counter& c = r->counter(name);
+      fast_store(r, name, 'c', &c);
+      c.add(v);
     } catch (...) {
     }
   }
@@ -526,8 +676,24 @@ void add_counter(std::string_view name, const Labels& labels,
 
 void set_gauge(std::string_view name, double v) noexcept {
   if (MetricsRegistry* r = sink()) {
+    if (void* m = fast_lookup(r, name, 'g')) {
+      static_cast<Gauge*>(m)->set(v);
+      return;
+    }
     try {
-      r->gauge(name).set(v);
+      Gauge& g = r->gauge(name);
+      fast_store(r, name, 'g', &g);
+      g.set(v);
+    } catch (...) {
+    }
+  }
+}
+
+void set_gauge(std::string_view name, const Labels& labels,
+               double v) noexcept {
+  if (MetricsRegistry* r = sink()) {
+    try {
+      r->gauge(name, labels).set(v);
     } catch (...) {
     }
   }
@@ -535,8 +701,24 @@ void set_gauge(std::string_view name, double v) noexcept {
 
 void observe(std::string_view name, double v) noexcept {
   if (MetricsRegistry* r = sink()) {
+    if (void* m = fast_lookup(r, name, 'h')) {
+      static_cast<Histogram*>(m)->observe(v);
+      return;
+    }
     try {
-      r->histogram(name).observe(v);
+      Histogram& h = r->histogram(name);
+      fast_store(r, name, 'h', &h);
+      h.observe(v);
+    } catch (...) {
+    }
+  }
+}
+
+void observe(std::string_view name, const Labels& labels,
+             double v) noexcept {
+  if (MetricsRegistry* r = sink()) {
+    try {
+      r->histogram(name, labels).observe(v);
     } catch (...) {
     }
   }

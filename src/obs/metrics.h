@@ -124,13 +124,40 @@ class Histogram {
 /// Thread-safe registry of named, labelled metrics.  Lookup takes a
 /// mutex; the returned references stay valid until clear(), so hot code
 /// may cache them.  Exports to JSON and to the Prometheus text format.
+///
+/// Cardinality guard: each metric *family* (same name, any label set) may
+/// hold at most series_limit() series (default 10k — sized for one
+/// `health.zone{id=...}` gauge per zone of a city-scale campaign).  A
+/// creation attempt beyond the cap is counted in the
+/// `obs.dropped_series{metric="<family>"}` counter and lands in an
+/// unexported per-kind sink, so a runaway label (node ids, raw values)
+/// degrades to a visible drop counter instead of unbounded map growth.
 class MetricsRegistry {
  public:
+  static constexpr std::size_t kDefaultSeriesLimit = 10000;
+
+  MetricsRegistry();
+
   Counter& counter(std::string_view name, const Labels& labels = {});
   Gauge& gauge(std::string_view name, const Labels& labels = {});
   /// `bounds` is only consulted on first creation of the series.
   Histogram& histogram(std::string_view name, const Labels& labels = {},
                        std::vector<double> bounds = {});
+
+  /// Max label sets per metric family before new series are dropped.
+  /// Clamped to >= 1.  Existing series are never evicted.
+  void set_series_limit(std::size_t limit);
+  std::size_t series_limit() const;
+  /// Total series-creation attempts refused by the cardinality guard.
+  double dropped_series() const;
+
+  /// Monotone identity of this registry's series storage: unique per
+  /// instance and re-drawn by clear().  A cached metric reference is
+  /// valid exactly while the stamp it was taken under still matches —
+  /// the validity token behind the helpers' thread-local fast path.
+  std::uint64_t stamp() const noexcept {
+    return stamp_.load(std::memory_order_relaxed);
+  }
 
   /// Sum of every counter series whose metric name equals `name`
   /// (across all label sets); 0 when absent.
@@ -188,10 +215,22 @@ class MetricsRegistry {
   template <class T>
   using SeriesMap = std::map<std::string, Series<T>, std::less<>>;
 
+  /// True when family `name` may accept one more series; otherwise
+  /// counts the drop.  Caller must hold mu_.
+  bool admit_series_locked(std::string_view name);
+
   mutable std::mutex mu_;
   SeriesMap<Counter> counters_;
   SeriesMap<Gauge> gauges_;
   SeriesMap<Histogram> histograms_;
+  std::map<std::string, std::size_t, std::less<>> family_counts_;
+  std::size_t series_limit_ = kDefaultSeriesLimit;
+  std::atomic<std::uint64_t> stamp_;
+  // Cardinality-guard sinks: writes beyond the cap land here, invisible
+  // to exports, so callers always get a usable reference back.
+  Counter overflow_counter_;
+  Gauge overflow_gauge_;
+  std::unique_ptr<Histogram> overflow_histogram_;
 };
 
 // ---------------------------------------------------------------------
@@ -234,7 +273,10 @@ void add_counter(std::string_view name, double v = 1.0) noexcept;
 void add_counter(std::string_view name, const Labels& labels,
                  double v) noexcept;
 void set_gauge(std::string_view name, double v) noexcept;
+void set_gauge(std::string_view name, const Labels& labels,
+               double v) noexcept;
 void observe(std::string_view name, double v) noexcept;
+void observe(std::string_view name, const Labels& labels, double v) noexcept;
 
 /// RAII timer: observes elapsed microseconds into histogram `name` on
 /// destruction.  Captures nothing (not even the clock) when detached at

@@ -114,7 +114,8 @@ RunReport RunReport::from_registry(const MetricsRegistry& reg,
 }
 
 std::string RunReport::to_json() const {
-  std::string out = "{\"campaign\":\"" + escape(campaign) + "\"";
+  std::string out = "{\"schema_version\":" + std::to_string(kSchemaVersion) +
+                    ",\"campaign\":\"" + escape(campaign) + "\"";
   out += ",\"sim\":{\"energy_total_j\":" + num(energy_total_j) +
          ",\"energy_tx_j\":" + num(energy_tx_j) +
          ",\"energy_rx_j\":" + num(energy_rx_j) +

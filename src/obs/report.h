@@ -24,6 +24,12 @@ struct HistSummary {
 /// Per-campaign rollup of the well-known metric names (README.md table)
 /// plus the full registry export for everything else.
 struct RunReport {
+  /// Version of the JSON layout emitted by to_json().  Bump on any
+  /// key rename/removal or semantic change so downstream tooling
+  /// (check_regression.py, dashboards) can gate on compatibility; pure
+  /// key additions keep the version.
+  static constexpr int kSchemaVersion = 1;
+
   std::string campaign;
 
   // sim layer — where the joules and bytes went.

@@ -1,0 +1,215 @@
+#include "obs/telemetry_server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/report.h"
+
+namespace sensedroid::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+void write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // timeout / client gone: drop the response
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(TelemetrySources sources, std::uint16_t port)
+    : sources_(std::move(sources)), requested_port_(port) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+bool TelemetryServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(requested_port_);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const int wake = ::eventfd(0, EFD_CLOEXEC);
+  if (wake < 0) {
+    ::close(fd);
+    return false;
+  }
+
+  listen_fd_ = fd;
+  wake_fd_ = wake;
+  port_ = ntohs(addr.sin_port);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void TelemetryServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  const std::uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = -1;
+  wake_fd_ = -1;
+}
+
+void TelemetryServer::serve_loop() {
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(ep, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  while (running_.load(std::memory_order_acquire)) {
+    epoll_event events[4];
+    const int n = ::epoll_wait(ep, events, 4, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd != listen_fd_) continue;  // wake_fd: loop check
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) continue;
+      timeval tv{2, 0};
+      ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      handle_connection(conn);
+      ::close(conn);
+      served_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ::close(ep);
+}
+
+void TelemetryServer::handle_connection(int fd) const {
+  // Read until the header terminator (requests are a handful of bytes;
+  // 8 KiB is the sanity cap, not a real limit).
+  std::string req;
+  char buf[1024];
+  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // timeout or close before a full request: no reply owed
+    }
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+
+  Response resp;
+  const std::size_t line_end = req.find("\r\n");
+  const std::string_view line =
+      std::string_view(req).substr(0, line_end);
+  if (!line.starts_with("GET ")) {
+    resp = Response{405, "text/plain; charset=utf-8", "GET only\n"};
+  } else {
+    std::string_view path = line.substr(4);
+    path = path.substr(0, path.find(' '));
+    const std::size_t query = path.find('?');
+    if (query != std::string_view::npos) path = path.substr(0, query);
+    resp = handle(path);
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                     status_text(resp.status) +
+                     "\r\nContent-Type: " + resp.content_type +
+                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  write_all(fd, head);
+  write_all(fd, resp.body);
+}
+
+TelemetryServer::Response TelemetryServer::handle(
+    std::string_view path) const {
+  if (path == "/metrics") {
+    if (sources_.metrics == nullptr) {
+      return {404, "text/plain; charset=utf-8", "no metrics source\n"};
+    }
+    std::string body = sources_.metrics->to_prometheus();
+    if (sources_.health != nullptr) {
+      sources_.health->evaluate();
+      body += sources_.health->gauges().to_prometheus();
+    }
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            std::move(body)};
+  }
+  if (path == "/healthz") {
+    if (sources_.health == nullptr) {
+      return {200, "application/json",
+              "{\"verdict\":\"healthy\",\"worst\":1,\"zones\":[]}"};
+    }
+    std::string body = sources_.health->to_json();
+    const int status =
+        std::string_view(sources_.health->verdict()) == "unhealthy" ? 503
+                                                                    : 200;
+    return {status, "application/json", std::move(body)};
+  }
+  if (path == "/report") {
+    if (sources_.metrics == nullptr) {
+      return {404, "text/plain; charset=utf-8", "no metrics source\n"};
+    }
+    return {200, "application/json",
+            RunReport::from_registry(*sources_.metrics, sources_.report_name,
+                                     /*include_wall_clock=*/true)
+                .to_json()};
+  }
+  if (path == "/spans") {
+    if (sources_.traces == nullptr) {
+      return {404, "text/plain; charset=utf-8", "no trace source\n"};
+    }
+    return {200, "application/jsonl", sources_.traces->to_jsonl()};
+  }
+  if (path == "/flight") {
+    return {200, "application/jsonl", FlightRecorder::dump_jsonl()};
+  }
+  return {404, "text/plain; charset=utf-8", "unknown endpoint\n"};
+}
+
+}  // namespace sensedroid::obs

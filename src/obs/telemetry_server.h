@@ -1,0 +1,100 @@
+// TelemetryServer: a tiny epoll-driven HTTP/1.0 listener (standard
+// library + POSIX sockets only) that exposes a RUNNING campaign's
+// observability surface on loopback:
+//
+//   GET /metrics  Prometheus text: the campaign registry's export,
+//                 followed by the health engine's gauge registry.
+//   GET /healthz  HealthEngine verdict JSON; 200 when healthy/degraded,
+//                 503 when any zone is unhealthy (load-balancer idiom).
+//   GET /report   Live RunReport JSON (full view, wall-clock series
+//                 included — the deterministic view is what the
+//                 campaign itself writes at the end).
+//   GET /spans    TraceLog JSONL snapshot.
+//   GET /flight   Flight-recorder JSONL dump (does not reset rings).
+//
+// Determinism rules (DESIGN.md §12): every handler only READS the
+// sources — registry/trace snapshots take their internal locks, health
+// gauges live in the engine's own registry — so scraping mid-campaign
+// cannot change a single deterministic byte of the campaign's RunReport.
+//
+// It is a diagnostics port, not a web server: one request per
+// connection, requests served sequentially on one thread, 2 s socket
+// timeouts so a stalled client cannot wedge the scrape loop for long.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sensedroid::obs {
+
+class HealthEngine;
+
+/// Where each endpoint reads from.  Null members disable their
+/// endpoints (404).  All pointees must outlive the server.
+struct TelemetrySources {
+  const MetricsRegistry* metrics = nullptr;  ///< /metrics, /report
+  const TraceLog* traces = nullptr;          ///< /spans
+  HealthEngine* health = nullptr;            ///< /healthz, /metrics tail
+  std::string report_name = "live";          ///< campaign name in /report
+};
+
+class TelemetryServer {
+ public:
+  /// `port` 0 binds an ephemeral port (read it back via port()).  Binds
+  /// loopback only — telemetry is host-local by design.
+  explicit TelemetryServer(TelemetrySources sources, std::uint16_t port = 0);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds, listens, and spawns the serving thread.  Returns false (with
+  /// no thread spawned) when the socket setup fails.  Idempotent while
+  /// running.
+  bool start();
+
+  /// Stops accepting, joins the serving thread, closes the socket.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Bound port (valid after start() returned true).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Total requests served (any status) — test/ops visibility.
+  std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Builds the response body + status for `path` exactly as the socket
+  /// surface would.  Public so tests can exercise routing without
+  /// sockets; the server's own thread goes through this too.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  Response handle(std::string_view path) const;
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd) const;
+
+  TelemetrySources sources_;
+  std::uint16_t requested_port_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() pokes the epoll wait
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace sensedroid::obs

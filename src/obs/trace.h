@@ -51,6 +51,16 @@ class TraceLog {
   std::string to_jsonl() const;
   void clear();
 
+  /// Appends every span of `shard` to this log, assigning fresh ids and
+  /// re-parenting the shard's root spans (parent == 0) under
+  /// `parent_id` of THIS log (0 keeps them roots); depths shift
+  /// accordingly.  Merging per-task shards in a fixed order (zone
+  /// index) makes the merged log's structure — names, parents, depths,
+  /// record order — identical at any worker count, mirroring what
+  /// ScopedMetricShard + merge_from do for metrics.  `shard` must be
+  /// quiescent (its task has joined).
+  void merge_from(const TraceLog& shard, std::uint64_t parent_id = 0);
+
  private:
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;  // indexed by id - 1
@@ -60,6 +70,62 @@ class TraceLog {
 /// Currently attached trace log, or nullptr (default).
 TraceLog* trace() noexcept;
 void attach_trace(TraceLog* t) noexcept;
+
+/// Where this thread's spans land: the thread-local shard when a
+/// ScopedTraceShard is live on this thread, else the attached log.
+TraceLog* trace_sink() noexcept;
+
+/// A propagation handle for cross-thread span nesting: captures "where
+/// in the span tree this thread currently is" so work handed to another
+/// thread (exec::ThreadPool::submit) can open spans that nest under the
+/// submitter's span instead of starting a disconnected root.  The ids
+/// refer to the log the capturing thread was writing to — adopt a
+/// context only on threads writing to that same log (a thread bound to
+/// its own shard should leave roots unparented and rely on
+/// TraceLog::merge_from's re-parenting instead).
+struct TraceContext {
+  std::uint64_t parent = 0;  ///< innermost open span id; 0 = at root
+  int depth = 0;             ///< depth a child span should record
+
+  /// Snapshot of the calling thread's position (cheap: no locking).
+  static TraceContext current() noexcept;
+};
+
+/// Redirects this thread's ScopedSpan/begin helpers into `shard` for the
+/// current scope (restores the previous binding on destruction).  Also
+/// stashes the thread's open-span stack and adopted TraceContext for the
+/// scope — span ids are log-scoped, so spans already open against the
+/// previous sink must not become parents of shard records.  Spans in
+/// the shard therefore start at root; TraceLog::merge_from re-parents
+/// them under the span the merger designates.  The parallel campaign
+/// runner binds one shard per zone task and merges them into the main
+/// log in zone order, so the trace tree is worker-count-invariant.
+class ScopedTraceShard {
+ public:
+  explicit ScopedTraceShard(TraceLog* shard) noexcept;
+  ~ScopedTraceShard();
+  ScopedTraceShard(const ScopedTraceShard&) = delete;
+  ScopedTraceShard& operator=(const ScopedTraceShard&) = delete;
+
+ private:
+  TraceLog* prev_;
+  std::vector<std::uint64_t> prev_open_spans_;
+  TraceContext prev_ctx_;
+};
+
+/// Adopts `ctx` as this thread's base for the scope: spans opened while
+/// the thread's own span stack is empty take ctx.parent/ctx.depth.
+/// Restores the previous base on destruction; nestable.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) noexcept;
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
 
 /// Latest virtual time sample.  `sim::Simulator` publishes `now()` here
 /// as events fire; anything else (tests, custom loops) may too.

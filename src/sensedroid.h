@@ -5,9 +5,13 @@
 // src/<module>/ is a separate static library).
 #pragma once
 
-// Observability: metrics registry, span tracer, run reports.
+// Observability: metrics registry, span tracer, run reports, flight
+// recorder, health/SLO engine, live telemetry endpoint.
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 
 // Linear algebra + sparsifying bases (eq. 2).

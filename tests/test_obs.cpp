@@ -1,10 +1,14 @@
 // sensedroid_obs unit tests: concurrent counter increments, histogram
-// quantile correctness against a known distribution, span nesting, and
-// exporter output validity.  Deliberately depends only on the obs
-// library so the ASan twin binary (test_obs_asan) stays small.
+// quantile correctness against a known distribution, span nesting,
+// exporter output validity, the cardinality guard, Prometheus escaping
+// conformance (golden file), and the RunReport schema golden.
+// Deliberately depends only on the obs library so the sanitizer twin
+// binaries stay small.
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +16,10 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+
+#ifndef SENSEDROID_TESTS_DIR
+#define SENSEDROID_TESTS_DIR "."
+#endif
 
 using namespace sensedroid;
 
@@ -405,6 +413,155 @@ TEST_F(ObsTest, RegistryClearDropsSeries) {
   reg.clear();
   EXPECT_EQ(reg.series_count(), 0u);
   EXPECT_TRUE(JsonChecker(reg.to_json()).valid());
+}
+
+// ------------------------------------------------------ cardinality guard
+
+TEST_F(ObsTest, CardinalityGuardCapsSeriesPerFamily) {
+  obs::MetricsRegistry reg;
+  reg.set_series_limit(3);
+  for (int i = 0; i < 5; ++i) {
+    reg.counter("test.burst", {{"node", std::to_string(i)}}).add(1.0);
+  }
+  // Three series admitted, two refused; refusals are counted per family.
+  EXPECT_DOUBLE_EQ(reg.counter_sum("test.burst"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.dropped_series(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter_value("obs.dropped_series", {{"metric", "test.burst"}}),
+      2.0);
+  // Writes to a refused series land in the sink, never crash, and stay
+  // out of the export.
+  reg.counter("test.burst", {{"node", "99"}}).add(100.0);
+  EXPECT_DOUBLE_EQ(reg.counter_sum("test.burst"), 3.0);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_EQ(json.find("\"node\":\"99\""), std::string::npos);
+}
+
+TEST_F(ObsTest, CardinalityGuardCoversGaugesAndHistograms) {
+  obs::MetricsRegistry reg;
+  reg.set_series_limit(2);
+  for (int i = 0; i < 4; ++i) {
+    reg.gauge("test.g", {{"z", std::to_string(i)}}).set(1.0);
+    reg.histogram("test.h", {{"z", std::to_string(i)}}).observe(1.0);
+  }
+  EXPECT_DOUBLE_EQ(reg.dropped_series(), 4.0);  // 2 gauges + 2 histograms
+  // An existing series is never evicted and stays writable after the cap.
+  reg.gauge("test.g", {{"z", "0"}}).set(7.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("test.g"), 7.0);
+  // Distinct families have independent budgets.
+  reg.counter("test.other", {{"z", "0"}}).add(1.0);
+  EXPECT_DOUBLE_EQ(reg.counter_sum("test.other"), 1.0);
+}
+
+TEST_F(ObsTest, CardinalityGuardResetsOnClear) {
+  obs::MetricsRegistry reg;
+  reg.set_series_limit(1);
+  reg.counter("test.c", {{"a", "1"}}).add(1.0);
+  reg.counter("test.c", {{"a", "2"}}).add(1.0);  // refused
+  EXPECT_DOUBLE_EQ(reg.dropped_series(), 1.0);
+  reg.clear();
+  EXPECT_DOUBLE_EQ(reg.dropped_series(), 0.0);
+  reg.counter("test.c", {{"a", "2"}}).add(1.0);  // budget is fresh
+  EXPECT_DOUBLE_EQ(reg.counter_sum("test.c"), 1.0);
+}
+
+// --------------------------------------------- helper fast path / stamping
+
+TEST_F(ObsTest, HelperFastPathSurvivesClearAndRegistrySwap) {
+  obs::MetricsRegistry a;
+  obs::attach_registry(&a);
+  obs::add_counter("test.fast");
+  obs::add_counter("test.fast");
+  EXPECT_DOUBLE_EQ(a.counter_sum("test.fast"), 2.0);
+
+  // clear() re-stamps: the cached pointer must not resurrect the old
+  // series storage.
+  a.clear();
+  obs::add_counter("test.fast");
+  EXPECT_DOUBLE_EQ(a.counter_sum("test.fast"), 1.0);
+
+  // Swapping the attached registry must redirect the same metric name.
+  obs::MetricsRegistry b;
+  obs::attach_registry(&b);
+  obs::add_counter("test.fast");
+  obs::set_gauge("test.fast.g", 5.0);
+  obs::observe("test.fast.h", 2.0);
+  EXPECT_DOUBLE_EQ(b.counter_sum("test.fast"), 1.0);
+  EXPECT_DOUBLE_EQ(b.gauge_value("test.fast.g"), 5.0);
+  EXPECT_EQ(b.find_histogram("test.fast.h")->count(), 1u);
+  EXPECT_DOUBLE_EQ(a.counter_sum("test.fast"), 1.0);  // untouched
+
+  // Names longer than the inline cache slot still work (slow path).
+  const std::string long_name(80, 'x');
+  obs::add_counter(long_name);
+  obs::add_counter(long_name);
+  EXPECT_DOUBLE_EQ(b.counter_sum(long_name), 2.0);
+}
+
+// --------------------------------------------------- exporter conformance
+
+TEST_F(ObsTest, PrometheusEscapesLabelValues) {
+  obs::MetricsRegistry reg;
+  reg.counter("test.esc", {{"path", "a\\b\"c\nd"}}).add(1.0);
+  const std::string text = reg.to_prometheus();
+  // Spec: label values escape backslash, double-quote, and newline (and
+  // nothing else) — the escaped form is the literal two-character
+  // sequences below, with no raw newline inside the quotes.
+  EXPECT_NE(text.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos)
+      << text;
+}
+
+namespace {
+
+// Builds the fixed registry both golden-file tests snapshot.  Everything
+// here is deterministic: counters, a labelled gauge, one histogram with
+// custom bounds (so the bucket lines are stable), label escaping.
+obs::MetricsRegistry& golden_registry(obs::MetricsRegistry& reg) {
+  reg.counter("cs.omp.solves").add(3.0);
+  reg.counter("sim.radio.tx_bytes", {{"radio", "wifi"}}).add(2048.0);
+  reg.counter("sim.radio.tx_bytes", {{"radio", "ble"}}).add(64.0);
+  reg.counter("test.escaped", {{"v", "q\"b\\s\nn"}}).add(1.0);
+  reg.gauge("mw.broker.queue_depth").set(4.0);
+  auto& h = reg.histogram("cs.chs.residual_rel", {}, {0.1, 1.0, 10.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(100.0);  // overflow bucket -> +Inf line
+  return reg;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+TEST_F(ObsTest, PrometheusGoldenRoundTrip) {
+  obs::MetricsRegistry reg;
+  const std::string text = golden_registry(reg).to_prometheus();
+  const std::string golden =
+      read_file(std::string(SENSEDROID_TESTS_DIR) +
+                "/golden/prometheus_conformance.txt");
+  ASSERT_FALSE(golden.empty()) << "missing golden file";
+  EXPECT_EQ(text, golden) << "--- actual ---\n" << text;
+}
+
+TEST_F(ObsTest, RunReportSchemaGolden) {
+  obs::MetricsRegistry reg;
+  const auto report = obs::RunReport::from_registry(
+      golden_registry(reg), "schema-golden", /*include_wall_clock=*/false);
+  const std::string json = report.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"schema_version\":" +
+                      std::to_string(obs::RunReport::kSchemaVersion)),
+            std::string::npos);
+  const std::string golden = read_file(
+      std::string(SENSEDROID_TESTS_DIR) + "/golden/run_report_schema.json");
+  ASSERT_FALSE(golden.empty()) << "missing golden file";
+  EXPECT_EQ(json + "\n", golden) << "--- actual ---\n" << json;
 }
 
 TEST_F(ObsTest, ConcurrentSpansFromManyThreads) {
